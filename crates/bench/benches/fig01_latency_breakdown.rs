@@ -1,0 +1,36 @@
+//! Figure 1 (scaled down): DRAM latency vs on-chip delay for a memory-
+//! intensive benchmark. The bench measures the simulation that produces
+//! the figure's decomposition and asserts its defining property — for
+//! high-MPKI workloads, on-chip delay is a large share of total miss
+//! latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emc_sim::run_homogeneous;
+use emc_types::SystemConfig;
+use emc_workloads::Benchmark;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_latency_breakdown");
+    g.sample_size(10);
+    g.bench_function("mcf_x4_latency_decomposition", |b| {
+        b.iter(|| {
+            let stats = run_homogeneous(
+                SystemConfig::quad_core().without_emc(),
+                Benchmark::Mcf,
+                3_000,
+            );
+            let dram = stats.mem.dram_service_latency.mean();
+            let chip = stats.mem.on_chip_delay.mean();
+            assert!(dram > 0.0, "misses must reach DRAM");
+            assert!(
+                chip > 0.2 * (dram + chip),
+                "Figure 1 property: on-chip delay is a substantial share"
+            );
+            std::hint::black_box((dram, chip))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

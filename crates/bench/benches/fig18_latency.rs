@@ -1,0 +1,32 @@
+//! Figure 18 (scaled down): the headline per-request claim — LLC misses
+//! issued by the EMC observe lower latency than core-issued ones. The
+//! bench runs one EMC configuration and asserts the direction of the
+//! effect while measuring the harness cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emc_sim::run_homogeneous;
+use emc_types::SystemConfig;
+use emc_workloads::Benchmark;
+
+fn bench_fig18(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_latency");
+    g.sample_size(10);
+    g.bench_function("omnetpp_x4_emc_vs_core_latency", |b| {
+        b.iter(|| {
+            let stats = run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, 4_000);
+            let core = stats.mem.core_miss_latency.mean();
+            let emc = stats.mem.emc_miss_latency.mean();
+            if emc > 0.0 && core > 0.0 {
+                assert!(
+                    emc < core * 1.05,
+                    "EMC-issued misses must not be slower: {emc:.0} vs {core:.0}"
+                );
+            }
+            std::hint::black_box((core, emc))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig18);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Simulator-throughput microbenchmarks: how fast the cycle model runs
+//! for representative workload classes. These are engineering benches
+//! (cycles simulated per wall-second), not paper figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emc_sim::{build_system, cycle_cap};
+use emc_types::SystemConfig;
+use emc_workloads::Benchmark;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for (name, bench) in [
+        ("pointer_chase_mcf", Benchmark::Mcf),
+        ("streaming_libquantum", Benchmark::Libquantum),
+        ("compute_povray", Benchmark::Povray),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sys =
+                    build_system(SystemConfig::quad_core(), &[bench, bench, bench, bench]);
+                std::hint::black_box(sys.run(2_000, cycle_cap(2_000)))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

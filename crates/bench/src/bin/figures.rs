@@ -1,0 +1,809 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! Usage: `cargo run -p emc-bench --release --bin figures -- <id>`
+//! where `<id>` is one of: tab1 tab2 tab3 fig1 fig2 fig3 fig6 fig12 fig13
+//! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24
+//! overhead ablation check all. Set `EMC_FIGURE_BUDGET` to change the
+//! per-core retired-uop budget (default 30000).
+
+use emc_bench::{
+    bar, config_grid, figure_budget, find, homog_grid, norm_weighted_speedup, par_map,
+    quad_grid, run_one_homog, run_one_mix, run_one_mix8, write_json, RunResult,
+};
+use emc_types::{PrefetcherKind, SystemConfig};
+use emc_workloads::{Benchmark, QUAD_MIXES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let budget = figure_budget();
+    eprintln!("# figure budget: {budget} retired uops/core (EMC_FIGURE_BUDGET to change)");
+    match what {
+        "tab1" => tab1(),
+        "tab2" => tab2(budget),
+        "tab3" => tab3(),
+        "fig1" => fig1_2(budget, false),
+        "fig2" => fig1_2(budget, true),
+        "fig3" => fig3(budget),
+        "fig6" => fig6(budget),
+        "fig12" => with_quad(budget, fig12),
+        "fig13" => with_homog(budget, fig13),
+        "fig14" => fig14(budget),
+        "fig15" => with_quad(budget, fig15),
+        "fig16" => with_quad(budget, fig16),
+        "fig17" => with_quad(budget, fig17),
+        "fig18" => with_quad(budget, fig18),
+        "fig19" => with_quad(budget, fig19),
+        "fig20" => fig20(budget),
+        "fig21" => with_quad(budget, fig21),
+        "fig22" => with_quad(budget, fig22),
+        "fig23" => with_quad(budget, fig23),
+        "fig24" => with_homog(budget, fig24),
+        "overhead" => with_quad(budget, overhead),
+        "ablation" => ablation(budget),
+        "check" => check(budget),
+        "all" => {
+            tab1();
+            tab3();
+            fig1_2(budget, false);
+            fig1_2(budget, true);
+            fig3(budget);
+            fig6(budget);
+            eprintln!("# running quad-core grid (80 simulations)...");
+            let quad = quad_grid(budget);
+            write_json("quad_grid", &quad);
+            fig12(&quad);
+            fig15(&quad);
+            fig16(&quad);
+            fig17(&quad);
+            fig18(&quad);
+            fig19(&quad);
+            fig21(&quad);
+            fig22(&quad);
+            fig23(&quad);
+            overhead(&quad);
+            eprintln!("# running homogeneous grid (64 simulations)...");
+            let homog = homog_grid(budget);
+            write_json("homog_grid", &homog);
+            fig13(&homog);
+            fig24(&homog);
+            fig14(budget);
+            fig20(budget);
+            ablation(budget);
+            tab2(budget);
+        }
+        other => {
+            eprintln!("unknown figure id: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn with_quad(budget: u64, f: impl FnOnce(&[RunResult])) {
+    eprintln!("# running quad-core grid (80 simulations)...");
+    let grid = quad_grid(budget);
+    write_json("quad_grid", &grid);
+    f(&grid);
+}
+
+fn with_homog(budget: u64, f: impl FnOnce(&[RunResult])) {
+    eprintln!("# running homogeneous grid (64 simulations)...");
+    let grid = homog_grid(budget);
+    write_json("homog_grid", &grid);
+    f(&grid);
+}
+
+fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+fn tab1() {
+    header("Table 1: system configuration");
+    let c = SystemConfig::quad_core();
+    println!("{}", serde_json::to_string_pretty(&c).expect("serializable config"));
+}
+
+fn tab2(budget: u64) {
+    header("Table 2: SPEC CPU2006 classification by memory intensity (measured MPKI)");
+    let jobs: Vec<Benchmark> = Benchmark::all();
+    let runs = par_map(jobs.clone(), |b| {
+        run_one_homog(b, SystemConfig::quad_core().without_emc(), budget)
+    });
+    let mut rows: Vec<(String, f64, bool)> = jobs
+        .iter()
+        .zip(&runs)
+        .map(|(b, r)| (b.name().to_string(), r.stats.cores[0].mpki(), b.is_high_intensity()))
+        .collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    println!("{:<12} {:>8}  {:<22} paper class", "benchmark", "MPKI", "measured class");
+    let mut agree = 0;
+    for (name, mpki, paper_high) in &rows {
+        let measured_high = *mpki >= 10.0;
+        if measured_high == *paper_high {
+            agree += 1;
+        }
+        println!(
+            "{:<12} {:>8.1}  {:<22} {}",
+            name,
+            mpki,
+            if measured_high { "high (MPKI >= 10)" } else { "low (MPKI < 10)" },
+            if *paper_high { "high" } else { "low" },
+        );
+    }
+    println!("classification agreement: {agree}/{}", rows.len());
+    write_json("tab2", &rows);
+}
+
+fn tab3() {
+    header("Table 3: quad-core workloads");
+    for (name, mix) in QUAD_MIXES {
+        let names: Vec<&str> = mix.iter().map(|b| b.name()).collect();
+        println!("{name:<4} {}", names.join("+"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Motivation figures (1, 2, 3, 6)
+// ---------------------------------------------------------------------
+
+/// Figures 1 and 2 share the homogeneous no-prefetch runs over the whole
+/// suite; `ideal` additionally runs the dependent-misses-become-hits
+/// limit study of Figure 2.
+fn fig1_2(budget: u64, ideal: bool) {
+    let jobs: Vec<Benchmark> = Benchmark::all();
+    let base_cfg = SystemConfig::quad_core().without_emc();
+    let runs = par_map(jobs.clone(), {
+        let base_cfg = base_cfg.clone();
+        move |b| run_one_homog(b, base_cfg.clone(), budget)
+    });
+    // Sort ascending by memory intensity as the paper does.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        runs[a].stats.cores[0]
+            .mpki()
+            .partial_cmp(&runs[b].stats.cores[0].mpki())
+            .expect("finite")
+    });
+
+    if !ideal {
+        header("Figure 1: DRAM latency vs on-chip delay of LLC misses (cycles)");
+        println!("{:<12} {:>8} {:>8} {:>8} {:>9}", "benchmark", "dram", "on-chip", "total", "on-chip%");
+        let mut out = Vec::new();
+        for &i in &order {
+            let m = &runs[i].stats.mem;
+            let dram = m.dram_service_latency.mean();
+            let chip = m.on_chip_delay.mean();
+            let total = dram + chip;
+            if total == 0.0 {
+                continue; // no misses at all
+            }
+            println!(
+                "{:<12} {:>8.0} {:>8.0} {:>8.0} {:>8.1}%",
+                jobs[i].name(),
+                dram,
+                chip,
+                total,
+                100.0 * chip / total
+            );
+            out.push((jobs[i].name(), dram, chip));
+        }
+        write_json("fig1", &out);
+        return;
+    }
+
+    header("Figure 2: dependent LLC misses and the ideal-hit limit study");
+    let ideal_runs = par_map(jobs.clone(), {
+        let mut cfg = base_cfg.clone();
+        cfg.ideal_dependent_hits = true;
+        move |b| run_one_homog(b, cfg.clone(), budget)
+    });
+    println!(
+        "{:<12} {:>12} {:>16}",
+        "benchmark", "dependent%", "ideal speedup%"
+    );
+    let mut out = Vec::new();
+    for &i in &order {
+        let dep = 100.0 * runs[i].stats.cores[0].dependent_miss_fraction();
+        let base_ipc: f64 = runs[i].ipcs.iter().sum();
+        let ideal_ipc: f64 = ideal_runs[i].ipcs.iter().sum();
+        let speedup = if base_ipc > 0.0 { 100.0 * (ideal_ipc / base_ipc - 1.0) } else { 0.0 };
+        println!("{:<12} {:>11.1}% {:>15.1}%", jobs[i].name(), dep, speedup);
+        out.push((jobs[i].name(), dep, speedup));
+    }
+    write_json("fig2", &out);
+}
+
+fn fig3(budget: u64) {
+    header("Figure 3: % of dependent cache misses covered by each prefetcher");
+    println!(
+        "{:<12} {:>8} {:>8} {:>14}",
+        "benchmark", "GHB", "Stream", "Markov+Stream"
+    );
+    let pfs = [PrefetcherKind::Ghb, PrefetcherKind::Stream, PrefetcherKind::MarkovStream];
+    let mut jobs = Vec::new();
+    for b in Benchmark::HIGH_INTENSITY {
+        for pf in pfs {
+            jobs.push((b, pf));
+        }
+    }
+    let runs = par_map(jobs.clone(), move |(b, pf)| {
+        run_one_homog(b, SystemConfig::quad_core().without_emc().with_prefetcher(pf), budget)
+    });
+    let mut out = Vec::new();
+    for (bi, b) in Benchmark::HIGH_INTENSITY.iter().enumerate() {
+        let mut cov = [0.0f64; 3];
+        for (pi, _) in pfs.iter().enumerate() {
+            let r = &runs[bi * 3 + pi];
+            let covered: u64 =
+                r.stats.cores.iter().map(|c| c.dependent_misses_prefetched).sum();
+            let dep: u64 = r.stats.cores.iter().map(|c| c.dependent_llc_misses).sum();
+            let total = covered + dep;
+            cov[pi] = if total == 0 { 0.0 } else { 100.0 * covered as f64 / total as f64 };
+        }
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>13.1}%",
+            b.name(),
+            cov[0],
+            cov[1],
+            cov[2]
+        );
+        out.push((b.name(), cov));
+    }
+    write_json("fig3", &out);
+}
+
+fn fig6(budget: u64) {
+    header("Figure 6: average ops between a source miss and its dependent miss");
+    let jobs: Vec<Benchmark> = Benchmark::HIGH_INTENSITY.to_vec();
+    let runs = par_map(jobs.clone(), move |b| {
+        run_one_homog(b, SystemConfig::quad_core().without_emc(), budget)
+    });
+    let mut out = Vec::new();
+    for (b, r) in jobs.iter().zip(&runs) {
+        let pairs: u64 = r.stats.cores.iter().map(|c| c.dep_chain_pairs).sum();
+        let sum: u64 = r.stats.cores.iter().map(|c| c.dep_chain_uop_sum).sum();
+        let mean = if pairs == 0 { 0.0 } else { sum as f64 / pairs as f64 };
+        println!("{:<12} {:>6.2}", b.name(), mean);
+        out.push((b.name(), mean));
+    }
+    write_json("fig6", &out);
+}
+
+// ---------------------------------------------------------------------
+// Performance figures (12, 13, 14)
+// ---------------------------------------------------------------------
+
+fn perf_rows(grid: &[RunResult], workloads: &[String]) -> Vec<(String, Vec<(String, f64)>)> {
+    let mut rows = Vec::new();
+    for w in workloads {
+        let base = find(grid, w, PrefetcherKind::None, false);
+        let mut cols = Vec::new();
+        for pf in PrefetcherKind::ALL {
+            for emc in [false, true] {
+                if pf == PrefetcherKind::None && !emc {
+                    continue;
+                }
+                let r = find(grid, w, pf, emc);
+                let label = format!("{}{}", pf.label(), if emc { "+EMC" } else { "" });
+                cols.push((label, norm_weighted_speedup(r, &base.ipcs)));
+            }
+        }
+        rows.push((w.clone(), cols));
+    }
+    rows
+}
+
+fn print_perf(rows: &[(String, Vec<(String, f64)>)]) {
+    let labels: Vec<&str> = rows[0].1.iter().map(|(l, _)| l.as_str()).collect();
+    print!("{:<12}", "workload");
+    for l in &labels {
+        print!(" {l:>14}");
+    }
+    println!();
+    let mut sums = vec![0.0; labels.len()];
+    for (w, cols) in rows {
+        print!("{w:<12}");
+        for (i, (_, v)) in cols.iter().enumerate() {
+            print!(" {v:>14.3}");
+            sums[i] += v;
+        }
+        println!();
+    }
+    print!("{:<12}", "gmean-ish");
+    for s in &sums {
+        print!(" {:>14.3}", s / rows.len() as f64);
+    }
+    println!();
+}
+
+fn fig12(grid: &[RunResult]) {
+    header("Figure 12: quad-core weighted speedup vs no-PF baseline, H1-H10");
+    let workloads: Vec<String> = QUAD_MIXES.iter().map(|(n, _)| n.to_string()).collect();
+    let rows = perf_rows(grid, &workloads);
+    print_perf(&rows);
+    write_json("fig12", &rows);
+}
+
+fn fig13(grid: &[RunResult]) {
+    header("Figure 13: quad-core homogeneous workloads (4 copies each)");
+    let workloads: Vec<String> =
+        Benchmark::HIGH_INTENSITY.iter().map(|b| format!("{}x4", b.name())).collect();
+    let rows = perf_rows(grid, &workloads);
+    print_perf(&rows);
+    write_json("fig13", &rows);
+}
+
+fn fig14(budget: u64) {
+    header("Figure 14: eight-core performance, single vs dual memory controller");
+    for (label, cfg) in [
+        ("1MC", SystemConfig::eight_core_1mc()),
+        ("2MC", SystemConfig::eight_core_2mc()),
+    ] {
+        let mut jobs = Vec::new();
+        for (name, mix) in QUAD_MIXES {
+            for c in config_grid(cfg.clone()) {
+                jobs.push((name, mix, c));
+            }
+        }
+        let grid = par_map(jobs, move |(name, mix, c)| run_one_mix8(name, mix, c, budget));
+        println!("--- {label} ---");
+        let workloads: Vec<String> = QUAD_MIXES.iter().map(|(n, _)| n.to_string()).collect();
+        let rows = perf_rows(&grid, &workloads);
+        print_perf(&rows);
+        write_json(&format!("fig14_{label}"), &rows);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis figures (15-19, 21, 22)
+// ---------------------------------------------------------------------
+
+fn emc_runs(grid: &[RunResult]) -> Vec<&RunResult> {
+    QUAD_MIXES
+        .iter()
+        .map(|(n, _)| find(grid, n, PrefetcherKind::None, true))
+        .collect()
+}
+
+fn fig15(grid: &[RunResult]) {
+    header("Figure 15: fraction of all LLC misses generated by the EMC");
+    let mut out = Vec::new();
+    for r in emc_runs(grid) {
+        let f = r.stats.emc_miss_fraction();
+        println!("{:<5} {:>6.1}%  |{}|", r.workload, 100.0 * f, bar(f, 0.5, 40));
+        out.push((r.workload.clone(), f));
+    }
+    write_json("fig15", &out);
+}
+
+fn fig16(grid: &[RunResult]) {
+    header("Figure 16: row-buffer conflict-rate change vs no-PF baseline");
+    let mut out = Vec::new();
+    for (name, _) in QUAD_MIXES {
+        let base = find(grid, name, PrefetcherKind::None, false);
+        let emc = find(grid, name, PrefetcherKind::None, true);
+        let delta = emc.stats.mem.row_conflict_rate() - base.stats.mem.row_conflict_rate();
+        println!("{name:<5} {:>+7.2}% (base {:.1}%, EMC {:.1}%)",
+            100.0 * delta,
+            100.0 * base.stats.mem.row_conflict_rate(),
+            100.0 * emc.stats.mem.row_conflict_rate());
+        out.push((name, delta));
+    }
+    write_json("fig16", &out);
+}
+
+fn fig17(grid: &[RunResult]) {
+    header("Figure 17: EMC data-cache hit rate");
+    let mut out = Vec::new();
+    for r in emc_runs(grid) {
+        let h = r.stats.emc.dcache_hit_rate();
+        println!("{:<5} {:>6.1}%  |{}|", r.workload, 100.0 * h, bar(h, 0.6, 40));
+        out.push((r.workload.clone(), h));
+    }
+    write_json("fig17", &out);
+}
+
+fn fig18(grid: &[RunResult]) {
+    header("Figure 18: LLC-miss latency, EMC-issued vs core-issued (cycles)");
+    println!("{:<5} {:>8} {:>8} {:>9}", "mix", "core", "EMC", "saving");
+    let mut csum = 0.0;
+    let mut esum = 0.0;
+    let mut out = Vec::new();
+    for r in emc_runs(grid) {
+        let c = r.stats.mem.core_miss_latency.mean();
+        let e = r.stats.mem.emc_miss_latency.mean();
+        let save = if c > 0.0 { 100.0 * (1.0 - e / c) } else { 0.0 };
+        println!("{:<5} {:>8.0} {:>8.0} {:>8.1}%", r.workload, c, e, save);
+        csum += c;
+        esum += e;
+        out.push((r.workload.clone(), c, e));
+    }
+    println!(
+        "{:<5} {:>8.0} {:>8.0} {:>8.1}%  (paper: ~20% lower for EMC requests)",
+        "avg",
+        csum / 10.0,
+        esum / 10.0,
+        100.0 * (1.0 - esum / csum)
+    );
+    write_json("fig18", &out);
+}
+
+fn fig19(grid: &[RunResult]) {
+    header("Figure 19: average cycles saved per EMC request, by source");
+    println!(
+        "{:<5} {:>12} {:>12} {:>12} {:>8}",
+        "mix", "interconnect", "cache", "queue", "total"
+    );
+    let mut out = Vec::new();
+    for r in emc_runs(grid) {
+        let m = &r.stats.mem;
+        let ring = m.core_ring_component.mean() - m.emc_ring_component.mean();
+        let cache = m.core_cache_component.mean() - m.emc_cache_component.mean();
+        let queue = m.core_queue_component.mean() - m.emc_queue_component.mean();
+        println!(
+            "{:<5} {:>12.0} {:>12.0} {:>12.0} {:>8.0}",
+            r.workload,
+            ring,
+            cache,
+            queue,
+            ring + cache + queue
+        );
+        out.push((r.workload.clone(), ring, cache, queue));
+    }
+    write_json("fig19", &out);
+}
+
+fn fig21(grid: &[RunResult]) {
+    header("Figure 21: % of EMC-generated misses covered when prefetching is on");
+    println!("{:<5} {:>8} {:>8} {:>14}", "mix", "GHB", "Stream", "Markov+Stream");
+    let mut out = Vec::new();
+    for (name, _) in QUAD_MIXES {
+        let nopf = find(grid, name, PrefetcherKind::None, true);
+        let denom = nopf.stats.emc.llc_misses_generated.max(1) as f64;
+        let mut cov = [0.0f64; 3];
+        for (i, pf) in [PrefetcherKind::Ghb, PrefetcherKind::Stream, PrefetcherKind::MarkovStream]
+            .into_iter()
+            .enumerate()
+        {
+            let r = find(grid, name, pf, true);
+            cov[i] = 100.0 * r.stats.emc.requests_covered_by_prefetch as f64 / denom;
+        }
+        println!("{name:<5} {:>7.1}% {:>7.1}% {:>13.1}%", cov[0], cov[1], cov[2]);
+        out.push((name, cov));
+    }
+    write_json("fig21", &out);
+}
+
+fn fig22(grid: &[RunResult]) {
+    header("Figure 22: average uops per dependence chain");
+    let mut out = Vec::new();
+    let mut hist = [0u64; 17];
+    for r in emc_runs(grid) {
+        let m = r.stats.mean_chain_uops();
+        println!("{:<5} {:>6.1}  |{}|", r.workload, m, bar(m, 16.0, 32));
+        for c in &r.stats.cores {
+            for (i, n) in c.chain_length_hist.iter().enumerate() {
+                hist[i] += n;
+            }
+        }
+        out.push((r.workload.clone(), m));
+    }
+    let total: u64 = hist.iter().sum();
+    if total > 0 {
+        println!("chain-length distribution over H1-H10:");
+        for (len, n) in hist.iter().enumerate().filter(|(_, n)| **n > 0) {
+            let frac = *n as f64 / total as f64;
+            println!("  {len:>2} uops {:>5.1}%  |{}|", 100.0 * frac, bar(frac, 0.5, 30));
+        }
+    }
+    write_json("fig22", &out);
+}
+
+// ---------------------------------------------------------------------
+// Sensitivity (20), energy (23, 24), overhead (§6.5)
+// ---------------------------------------------------------------------
+
+fn fig20(budget: u64) {
+    header("Figure 20: sensitivity to DRAM channels/ranks (speedup over 1C1R, no-PF)");
+    // The paper averages H1-H10; we use three representative mixes to
+    // bound runtime (override the budget env var for full sweeps).
+    let mixes = ["H1", "H4", "H9"];
+    let geoms = [(1, 1), (1, 2), (1, 4), (2, 1), (2, 2), (2, 4), (4, 2), (4, 4)];
+    let mut jobs = Vec::new();
+    for (c, r) in geoms {
+        for emc in [false, true] {
+            for m in mixes {
+                let mut cfg = SystemConfig::quad_core().with_dram_geometry(c, r);
+                cfg.emc.enabled = emc;
+                jobs.push((c, r, emc, m, cfg));
+            }
+        }
+    }
+    let runs = par_map(jobs.clone(), move |(_, _, _, m, cfg)| {
+        let mix = emc_workloads::mix_by_name(m).expect("known mix");
+        run_one_mix(m, mix, cfg, budget)
+    });
+    // Aggregate IPC sum per (geom, emc) averaged over mixes, normalized
+    // to (1,1,false).
+    let agg = |c: usize, r: usize, emc: bool| -> f64 {
+        let mut s = 0.0;
+        for (j, run) in jobs.iter().zip(&runs) {
+            if j.0 == c && j.1 == r && j.2 == emc {
+                s += run.stats.ipc_sum();
+            }
+        }
+        s / mixes.len() as f64
+    };
+    let base = agg(1, 1, false);
+    println!("{:<8} {:>10} {:>10} {:>8}", "geometry", "no-EMC", "EMC", "EMC gain");
+    let mut out = Vec::new();
+    for (c, r) in geoms {
+        let b = agg(c, r, false) / base;
+        let e = agg(c, r, true) / base;
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>+7.1}%",
+            format!("{c}C{r}R"),
+            b,
+            e,
+            100.0 * (e / b - 1.0)
+        );
+        out.push((format!("{c}C{r}R"), b, e));
+    }
+    write_json("fig20", &out);
+}
+
+fn energy_rows(grid: &[RunResult], workloads: &[String], json: &str) {
+    print!("{:<12}", "workload");
+    let mut labels = Vec::new();
+    for pf in PrefetcherKind::ALL {
+        for emc in [false, true] {
+            if pf == PrefetcherKind::None && !emc {
+                continue;
+            }
+            labels.push(format!("{}{}", pf.label(), if emc { "+EMC" } else { "" }));
+        }
+    }
+    for l in &labels {
+        print!(" {l:>14}");
+    }
+    println!("   (% energy vs no-PF baseline)");
+    let mut out = Vec::new();
+    let mut sums = vec![0.0; labels.len()];
+    for w in workloads {
+        let base = find(grid, w, PrefetcherKind::None, false);
+        print!("{w:<12}");
+        let mut row = Vec::new();
+        let mut i = 0;
+        for pf in PrefetcherKind::ALL {
+            for emc in [false, true] {
+                if pf == PrefetcherKind::None && !emc {
+                    continue;
+                }
+                let r = find(grid, w, pf, emc);
+                let pct = r.energy.percent_vs(&base.energy);
+                print!(" {pct:>+13.1}%");
+                row.push(pct);
+                sums[i] += pct;
+                i += 1;
+            }
+        }
+        println!();
+        out.push((w.clone(), row));
+    }
+    print!("{:<12}", "mean");
+    for s in &sums {
+        print!(" {:>+13.1}%", s / workloads.len() as f64);
+    }
+    println!();
+    write_json(json, &out);
+}
+
+fn fig23(grid: &[RunResult]) {
+    header("Figure 23: energy consumption vs no-EMC/no-PF baseline, H1-H10");
+    let workloads: Vec<String> = QUAD_MIXES.iter().map(|(n, _)| n.to_string()).collect();
+    energy_rows(grid, &workloads, "fig23");
+}
+
+fn fig24(grid: &[RunResult]) {
+    header("Figure 24: energy consumption, homogeneous workloads");
+    let workloads: Vec<String> =
+        Benchmark::HIGH_INTENSITY.iter().map(|b| format!("{}x4", b.name())).collect();
+    energy_rows(grid, &workloads, "fig24");
+}
+
+/// Automated reproduction self-test: re-runs a small grid and asserts
+/// the scorecard's directional claims (EXPERIMENTS.md). Exits non-zero
+/// on any violation.
+fn check(budget: u64) {
+    header("Reproduction self-check");
+    let mut failures: Vec<String> = Vec::new();
+    let mut claim = |name: &str, ok: bool, detail: String| {
+        println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            failures.push(name.to_string());
+        }
+    };
+
+    // Representative mixes keep the check fast.
+    let mixes = ["H1", "H4", "H7"];
+    let mut grid = Vec::new();
+    for name in mixes {
+        let mix = emc_workloads::mix_by_name(name).expect("known mix");
+        for cfg in config_grid(SystemConfig::quad_core()) {
+            grid.push(run_one_mix(name, mix, cfg, budget));
+        }
+    }
+
+    // 1. EMC speeds up the no-prefetch system on average.
+    let mut emc_gain = 0.0;
+    for name in mixes {
+        let base = find(&grid, name, PrefetcherKind::None, false);
+        let emc = find(&grid, name, PrefetcherKind::None, true);
+        emc_gain += norm_weighted_speedup(emc, &base.ipcs);
+    }
+    emc_gain /= mixes.len() as f64;
+    claim("emc_speedup", emc_gain > 1.02, format!("mean weighted speedup {emc_gain:.3}"));
+
+    // 2. EMC-issued misses are faster than core-issued ones.
+    let mut c = 0.0;
+    let mut e = 0.0;
+    for name in mixes {
+        let r = find(&grid, name, PrefetcherKind::None, true);
+        c += r.stats.mem.core_miss_latency.mean();
+        e += r.stats.mem.emc_miss_latency.mean();
+    }
+    claim("emc_latency", e < c, format!("core {:.0} vs EMC {:.0} cycles", c / 3.0, e / 3.0));
+
+    // 3. EMC saves energy; Markov+stream costs energy on chase mixes.
+    let base = find(&grid, "H4", PrefetcherKind::None, false);
+    let emc = find(&grid, "H4", PrefetcherKind::None, true);
+    let mk = find(&grid, "H4", PrefetcherKind::MarkovStream, false);
+    let d_emc = emc.energy.percent_vs(&base.energy);
+    let d_mk = mk.energy.percent_vs(&base.energy);
+    claim("energy_direction", d_emc < d_mk, format!("EMC {d_emc:+.1}% vs Markov+Stream {d_mk:+.1}%"));
+
+    // 4. EMC traffic overhead is far below the Markov prefetcher's.
+    let t_base = base.stats.mem.dram_traffic() as f64;
+    let t_emc = emc.stats.mem.dram_traffic() as f64 / t_base;
+    let t_mk = mk.stats.mem.dram_traffic() as f64 / t_base;
+    claim("traffic", t_emc < t_mk, format!("EMC x{t_emc:.2} vs Markov+Stream x{t_mk:.2}"));
+
+    // 5. Chains are real and bounded.
+    let mean_chain = emc.stats.mean_chain_uops();
+    claim(
+        "chains",
+        emc.stats.emc.chains_executed > 0 && mean_chain > 2.0 && mean_chain <= 16.0,
+        format!("{} chains, {:.1} uops mean", emc.stats.emc.chains_executed, mean_chain),
+    );
+
+    if failures.is_empty() {
+        println!("
+all checks passed");
+    } else {
+        println!("
+FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}
+
+/// Design-space ablations: the paper chose the EMC's context count, data
+/// cache and uop-buffer sizes "via sensitivity analysis" (§5); this
+/// regenerates that analysis, plus the §1/§2 mechanism comparison against
+/// runahead execution.
+fn ablation(budget: u64) {
+    header("Ablation A: EMC design space (omnetpp x4, speedup vs no EMC)");
+    let base = run_one_homog(
+        Benchmark::Omnetpp,
+        SystemConfig::quad_core().without_emc(),
+        budget,
+    );
+    let mut jobs: Vec<(String, SystemConfig)> = Vec::new();
+    for contexts in [1usize, 2, 4] {
+        let mut c = SystemConfig::quad_core();
+        c.emc.contexts = contexts;
+        jobs.push((format!("contexts={contexts}"), c));
+    }
+    for kb in [2u64, 4, 8] {
+        let mut c = SystemConfig::quad_core();
+        c.emc.dcache_bytes = kb * 1024;
+        jobs.push((format!("dcache={kb}KB"), c));
+    }
+    for buf in [8usize, 16, 32] {
+        let mut c = SystemConfig::quad_core();
+        c.emc.uop_buffer = buf;
+        c.emc.prf_entries = buf.max(16);
+        c.emc.live_in_entries = buf.max(16);
+        jobs.push((format!("uop_buffer={buf}"), c));
+    }
+    for cand in [1usize, 2, 4] {
+        let mut c = SystemConfig::quad_core();
+        c.emc.chain_candidates = cand;
+        jobs.push((format!("candidates={cand}"), c));
+    }
+    let labels: Vec<String> = jobs.iter().map(|(l, _)| l.clone()).collect();
+    let runs = par_map(jobs, move |(l, c)| {
+        let mut r = run_one_homog(Benchmark::Omnetpp, c, budget);
+        r.workload = l;
+        r
+    });
+    let mut out = Vec::new();
+    for (l, r) in labels.iter().zip(&runs) {
+        let ws = norm_weighted_speedup(r, &base.ipcs);
+        println!("{l:<16} {ws:>7.3}  (chains {} / rejected {})",
+            r.stats.cores.iter().map(|c| c.chains_sent).sum::<u64>(),
+            r.stats.emc.chains_rejected_busy);
+        out.push((l.clone(), ws));
+    }
+    write_json("ablation_design", &out);
+
+    header("Ablation B: mechanism comparison — runahead vs EMC (speedup vs plain core)");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "bench", "runahead", "EMC", "both"
+    );
+    let mut out = Vec::new();
+    for b in [Benchmark::Mcf, Benchmark::Omnetpp, Benchmark::Soplex, Benchmark::Milc, Benchmark::Libquantum] {
+        let plain = run_one_homog(b, SystemConfig::quad_core().without_emc(), budget);
+        let mut ra_cfg = SystemConfig::quad_core().without_emc();
+        ra_cfg.core.runahead = true;
+        let mut both_cfg = SystemConfig::quad_core();
+        both_cfg.core.runahead = true;
+        let variants = par_map(
+            vec![ra_cfg, SystemConfig::quad_core(), both_cfg],
+            move |c| run_one_homog(b, c, budget),
+        );
+        let ws: Vec<f64> =
+            variants.iter().map(|r| norm_weighted_speedup(r, &plain.ipcs)).collect();
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3}",
+            b.name(),
+            ws[0],
+            ws[1],
+            ws[2]
+        );
+        out.push((b.name(), ws));
+    }
+    println!("(runahead targets independent misses; the EMC targets dependent ones — §1/§2)");
+    write_json("ablation_mechanisms", &out);
+}
+
+fn overhead(grid: &[RunResult]) {
+    header("Section 6.5: EMC interconnect overhead (averages over H1-H10)");
+    let mut live_in = 0.0;
+    let mut live_out = 0.0;
+    let mut chains = 0u64;
+    let mut data_pct = 0.0;
+    let mut ctrl_pct = 0.0;
+    let mut emc_data_share = 0.0;
+    let n = QUAD_MIXES.len() as f64;
+    for (name, _) in QUAD_MIXES {
+        let base = find(grid, name, PrefetcherKind::None, false);
+        let emc = find(grid, name, PrefetcherKind::None, true);
+        let c: u64 = emc.stats.cores.iter().map(|x| x.chains_sent).sum();
+        chains += c;
+        if c > 0 {
+            live_in += emc.stats.cores.iter().map(|x| x.chain_live_ins).sum::<u64>() as f64
+                / c as f64;
+            live_out += emc.stats.cores.iter().map(|x| x.chain_live_outs).sum::<u64>() as f64
+                / c as f64;
+        }
+        data_pct += 100.0
+            * (emc.stats.ring.data_msgs as f64 / base.stats.ring.data_msgs.max(1) as f64 - 1.0);
+        ctrl_pct += 100.0
+            * (emc.stats.ring.control_msgs as f64 / base.stats.ring.control_msgs.max(1) as f64
+                - 1.0);
+        emc_data_share +=
+            100.0 * emc.stats.ring.emc_data_msgs as f64 / emc.stats.ring.data_msgs.max(1) as f64;
+    }
+    println!("chains executed (total over mixes): {chains}");
+    println!("average live-ins per chain:  {:.1} (paper: 6.4)", live_in / n);
+    println!("average live-outs per chain: {:.1} (paper: 8.8)", live_out / n);
+    println!("data-ring message increase:  {:+.1}% (paper: +33%)", data_pct / n);
+    println!("control-ring message increase: {:+.1}% (paper: +7%)", ctrl_pct / n);
+    println!("EMC share of data messages:  {:.1}% (paper: 25%)", emc_data_share / n);
+}

@@ -1,0 +1,222 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6). See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The `figures` binary (`cargo run -p emc-bench --release --bin figures
+//! -- <id>`) prints each figure's rows; `all` regenerates everything.
+//! Criterion benches under `benches/` run scaled-down versions of the
+//! same harnesses so `cargo bench` exercises every code path quickly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use emc_energy::{estimate_default, EnergyBreakdown};
+use emc_sim::{cycle_cap, eight_core_mix, run_homogeneous, run_mix};
+use emc_types::{PrefetcherKind, Stats, SystemConfig};
+use emc_workloads::{Benchmark, QUAD_MIXES};
+use serde::Serialize;
+
+/// Per-core retired-uop budget for figure runs. Override with the
+/// `EMC_FIGURE_BUDGET` environment variable.
+pub fn figure_budget() -> u64 {
+    std::env::var("EMC_FIGURE_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000)
+}
+
+/// One simulated configuration of one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Workload label ("H4", "mcf x4", ...).
+    pub workload: String,
+    /// Prefetcher configuration.
+    pub prefetcher: String,
+    /// Whether the EMC was enabled.
+    pub emc: bool,
+    /// Full statistics.
+    pub stats: Stats,
+    /// Energy estimate.
+    pub energy: EnergyBreakdown,
+    /// Per-core IPCs (for weighted speedup against a baseline run).
+    pub ipcs: Vec<f64>,
+}
+
+fn result_of(workload: String, cfg: &SystemConfig, stats: Stats) -> RunResult {
+    let energy = estimate_default(&stats, cfg);
+    let ipcs = stats.cores.iter().map(|c| c.ipc()).collect();
+    RunResult {
+        workload,
+        prefetcher: cfg.prefetcher.label().to_string(),
+        emc: cfg.emc.enabled,
+        stats,
+        energy,
+        ipcs,
+    }
+}
+
+/// Run one heterogeneous mix under `cfg`.
+pub fn run_one_mix(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> RunResult {
+    let stats = run_mix(cfg.clone(), &mix, budget);
+    result_of(name.to_string(), &cfg, stats)
+}
+
+/// Run one homogeneous workload (`cfg.cores` copies of `bench`).
+pub fn run_one_homog(bench: Benchmark, cfg: SystemConfig, budget: u64) -> RunResult {
+    let stats = run_homogeneous(cfg.clone(), bench, budget);
+    result_of(format!("{}x{}", bench.name(), cfg.cores), &cfg, stats)
+}
+
+/// Run one eight-core mix (two copies of a quad mix, §5).
+pub fn run_one_mix8(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> RunResult {
+    let benches = eight_core_mix(mix);
+    let stats = run_mix(cfg.clone(), &benches, budget);
+    result_of(name.to_string(), &cfg, stats)
+}
+
+/// The eight (prefetcher × EMC) configurations of Figures 12–14.
+pub fn config_grid(base: SystemConfig) -> Vec<SystemConfig> {
+    let mut v = Vec::new();
+    for pf in PrefetcherKind::ALL {
+        for emc in [false, true] {
+            let mut c = base.clone().with_prefetcher(pf);
+            c.emc.enabled = emc;
+            v.push(c);
+        }
+    }
+    v
+}
+
+/// Weighted speedup of `run` against per-core baseline IPCs, normalized
+/// per core (1.0 = baseline performance).
+pub fn norm_weighted_speedup(run: &RunResult, baseline_ipcs: &[f64]) -> f64 {
+    run.stats.weighted_speedup(baseline_ipcs) / baseline_ipcs.len() as f64
+}
+
+/// Simple two-worker parallel map (the grids are embarrassingly
+/// parallel; each run is internally deterministic).
+pub fn par_map<T, F>(jobs: Vec<T>, f: F) -> Vec<RunResult>
+where
+    T: Send,
+    F: Fn(T) -> RunResult + Sync,
+{
+    let n = jobs.len();
+    let mut out: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+    let jobs: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(jobs);
+    let results = std::sync::Mutex::new(&mut out);
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).min(4);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((i, job)) = job else { break };
+                let r = f(job);
+                results.lock().expect("results lock")[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter().map(|r| r.expect("all jobs ran")).collect()
+}
+
+/// All quad-core heterogeneous grid runs (H1–H10 × 8 configs), the input
+/// to Figures 12, 15, 16, 17, 18, 19, 21, 22 and 23.
+pub fn quad_grid(budget: u64) -> Vec<RunResult> {
+    let mut jobs = Vec::new();
+    for (name, mix) in QUAD_MIXES {
+        for cfg in config_grid(SystemConfig::quad_core()) {
+            jobs.push((name, mix, cfg));
+        }
+    }
+    par_map(jobs, |(name, mix, cfg)| run_one_mix(name, mix, cfg, budget))
+}
+
+/// All homogeneous grid runs (8 high-intensity benchmarks × 8 configs),
+/// the input to Figures 13 and 24.
+pub fn homog_grid(budget: u64) -> Vec<RunResult> {
+    let mut jobs = Vec::new();
+    for b in Benchmark::HIGH_INTENSITY {
+        for cfg in config_grid(SystemConfig::quad_core()) {
+            jobs.push((b, cfg));
+        }
+    }
+    par_map(jobs, |(b, cfg)| run_one_homog(b, cfg, budget))
+}
+
+/// Find the run for (workload, prefetcher label, emc) in a grid.
+pub fn find<'a>(grid: &'a [RunResult], workload: &str, pf: PrefetcherKind, emc: bool) -> &'a RunResult {
+    grid.iter()
+        .find(|r| r.workload == workload && r.prefetcher == pf.label() && r.emc == emc)
+        .unwrap_or_else(|| panic!("missing run {workload}/{}/{emc}", pf.label()))
+}
+
+/// Write a JSON sidecar next to the textual figure output.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(path, s);
+        }
+    }
+}
+
+/// Fixed-width bar for terminal "figures".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let frac = (value / max).clamp(0.0, 1.0);
+    let n = (frac * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(n), " ".repeat(width - n))
+}
+
+/// A cycle cap consistent with the runner for direct System::run calls.
+pub fn cap(budget: u64) -> u64 {
+    cycle_cap(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_grid_has_eight_entries() {
+        let g = config_grid(SystemConfig::quad_core());
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.iter().filter(|c| c.emc.enabled).count(), 4);
+        let labels: std::collections::HashSet<_> =
+            g.iter().map(|c| c.prefetcher.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let jobs: Vec<u64> = (0..6).collect();
+        let out = par_map(jobs, |i| RunResult {
+            workload: format!("w{i}"),
+            prefetcher: "No-PF".into(),
+            emc: false,
+            stats: Stats::new(1),
+            energy: Default::default(),
+            ipcs: vec![i as f64],
+        });
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.workload, format!("w{i}"));
+            assert_eq!(r.ipcs[0], i as f64);
+        }
+    }
+
+    #[test]
+    fn bar_renders_bounded() {
+        assert_eq!(bar(0.0, 1.0, 10).trim(), "");
+        assert_eq!(bar(1.0, 1.0, 10), "##########");
+        assert_eq!(bar(2.0, 1.0, 4), "####", "clamped");
+        assert_eq!(bar(0.5, 1.0, 10).matches('#').count(), 5);
+    }
+
+    #[test]
+    fn budget_env_override() {
+        // Default without the env var.
+        std::env::remove_var("EMC_FIGURE_BUDGET");
+        assert_eq!(figure_budget(), 30_000);
+    }
+}

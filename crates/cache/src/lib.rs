@@ -1,0 +1,21 @@
+//! Cache-hierarchy building blocks: set-associative caches with LRU
+//! replacement and per-line metadata, miss-status holding registers
+//! (MSHRs), and the circular TLBs used by the EMC (§4.1.3–4.1.4 of the
+//! paper).
+//!
+//! The full hierarchy (per-core L1s, one shared-LLC slice per core, the
+//! EMC's 4 KB data cache) is assembled by `emc-sim` from these parts. The
+//! LLC is inclusive and its per-line [`LineFlags::emc_resident`] bit is the
+//! paper's one-bit directory extension for keeping the EMC data cache
+//! coherent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mshr;
+pub mod setassoc;
+pub mod tlb;
+
+pub use mshr::{MshrOutcome, Mshrs};
+pub use setassoc::{Eviction, HitInfo, LineFlags, SetAssocCache};
+pub use tlb::CircularTlb;

@@ -1,0 +1,857 @@
+//! The EMC execution engine (paper §4.1, Figure 8).
+//!
+//! Two (quad-core) or four (eight-core) issue contexts each hold one
+//! dependence chain: a 16-entry uop buffer, a 16-entry physical register
+//! file and a live-in vector. A shared 2-wide back-end issues ready uops
+//! out of order; loads check the per-context store buffer (LSQ), then the
+//! 4 KB EMC data cache, then either the LLC or — when the PC-hashed miss
+//! predictor says the LLC would miss — DRAM directly. Branches are checked
+//! against the fetch-time predicted direction and abort the chain on a
+//! mismatch; TLB misses abort the chain (the home core re-executes it).
+//!
+//! The engine is driven by the system simulator: it emits [`EmcEvent`]s
+//! (load requests with their chosen route, chain completion/abort) and
+//! receives load data via [`Emc::complete_load`].
+
+use crate::chain::{Chain, ChainSrc, ChainUop};
+use crate::predictor::MissPredictor;
+use emc_cache::{CircularTlb, SetAssocCache};
+use emc_types::{
+    physical_line, Addr, CacheConfig, CoreId, Cycle, EmcConfig, EmcStats, LineAddr, PageAddr,
+    UopKind,
+};
+
+/// EMC TLB translation granularity: 2 MB superpages.
+///
+/// SPEC-class workloads run with large pages on real systems; tracking
+/// 4 KB pages at the EMC would abort nearly every pointer-chase chain
+/// (the dependent load almost always leaves the source's 4 KB page),
+/// which contradicts the paper's reported EMC coverage. With 2 MB
+/// entries a 32-entry TLB covers a 64 MB footprint — misses still occur
+/// and still abort chains (§4.1.4), just at a realistic rate.
+pub const EMC_TLB_PAGE_BITS: u32 = 21;
+
+fn tlb_page(addr: Addr) -> PageAddr {
+    PageAddr(addr.0 >> EMC_TLB_PAGE_BITS)
+}
+
+/// Why a chain was aborted (the home core re-executes it locally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A load's page translation was absent from the EMC TLB (§4.1.4).
+    TlbMiss,
+    /// The chain contained a mispredicted branch (§4.3).
+    BranchMispredict,
+    /// The simulator detected a memory-disambiguation conflict with an
+    /// older store at the home core (§4.3).
+    Disambiguation,
+}
+
+/// Where an EMC load was routed (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadRoute {
+    /// Hit in the 4 KB EMC data cache (2-cycle access).
+    DcacheHit,
+    /// Predicted LLC hit: query the LLC over the on-chip path.
+    Llc,
+    /// Predicted LLC miss: issue directly to DRAM, skipping the LLC.
+    DirectDram,
+}
+
+/// Events emitted by [`Emc::tick`] for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmcEvent {
+    /// A load issued; the simulator must supply data via
+    /// [`Emc::complete_load`] after modeling `route`'s latency.
+    Load {
+        /// Issue context.
+        ctx: usize,
+        /// Index of the load within the chain.
+        uop: usize,
+        /// Chain's home core (whose memory image holds the data).
+        home_core: CoreId,
+        /// Virtual byte address.
+        vaddr: Addr,
+        /// Load PC (for predictor training by the sim).
+        pc: u64,
+        /// Route chosen by the EMC.
+        route: LoadRoute,
+    },
+    /// Results of uops completed this cycle in `ctx`, to be shipped back
+    /// to the home core as one data-ring message (live-outs stream back
+    /// incrementally; a multi-indirection chain must not hold its early
+    /// results hostage to its last miss).
+    Results {
+        /// Issue context.
+        ctx: usize,
+    },
+    /// Every uop of the chain in `ctx` completed; collect it with
+    /// [`Emc::take_finished`].
+    ChainDone {
+        /// Issue context.
+        ctx: usize,
+    },
+    /// The chain in `ctx` aborted; collect it with [`Emc::take_finished`]
+    /// and re-execute at the core.
+    ChainAborted {
+        /// Issue context.
+        ctx: usize,
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+/// Result of one chain uop, for retirement at the home core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainResult {
+    /// Home-core ROB id.
+    pub rob: emc_cpu::RobId,
+    /// Destination value (branch direction for branches).
+    pub value: u64,
+    /// For stores: (address, data) to commit at retirement.
+    pub store: Option<(Addr, u64)>,
+}
+
+/// A finished (completed or aborted) chain handed back to the simulator.
+#[derive(Debug, Clone)]
+pub struct FinishedChain {
+    /// The original chain (for ROB ids and accounting).
+    pub chain: Chain,
+    /// Results completed but not yet drained (normally empty: results
+    /// stream back incrementally via [`EmcEvent::Results`]).
+    pub results: Vec<ChainResult>,
+    /// Abort reason, if aborted.
+    pub aborted: Option<AbortReason>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UopState {
+    Waiting,
+    Issued,
+    Done,
+}
+
+#[derive(Debug)]
+struct Context {
+    chain: Chain,
+    prf: Vec<u64>,
+    prf_ready: Vec<bool>,
+    states: Vec<UopState>,
+    outbox: Vec<ChainResult>,
+    store_buffer: Vec<(Addr, u64)>,
+    source_delivered: bool,
+    /// The chain is still in flight on the data ring until this cycle
+    /// (the context is reserved at generation time; execution may not
+    /// begin before the uops physically arrive).
+    active_at: Cycle,
+    aborted: Option<AbortReason>,
+    announced: bool,
+}
+
+impl Context {
+    fn new(chain: Chain, prf_entries: usize, active_at: Cycle) -> Self {
+        let n = chain.uops.len();
+        Context {
+            chain,
+            prf: vec![0; prf_entries],
+            prf_ready: vec![false; prf_entries],
+            states: vec![UopState::Waiting; n],
+            outbox: Vec::new(),
+            store_buffer: Vec::new(),
+            source_delivered: false,
+            active_at,
+            aborted: None,
+            announced: false,
+        }
+    }
+
+    fn src_value(&self, s: ChainSrc) -> Option<u64> {
+        match s {
+            ChainSrc::Epr(e) => self.prf_ready[e as usize].then(|| self.prf[e as usize]),
+            ChainSrc::LiveIn(i) => Some(self.chain.live_ins[i as usize]),
+        }
+    }
+
+    fn uop_ready(&self, i: usize) -> bool {
+        self.states[i] == UopState::Waiting
+            && self.chain.uops[i]
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&s| self.src_value(s).is_some())
+    }
+
+    /// Resolve the two ALU inputs per the ISA operand conventions.
+    fn operands(&self, u: &ChainUop) -> (u64, u64) {
+        let s0 = u.srcs[0].and_then(|s| self.src_value(s));
+        let s1 = u.srcs[1].and_then(|s| self.src_value(s));
+        match u.kind {
+            UopKind::Mov => (s0.unwrap_or(u.imm), 0),
+            UopKind::Not | UopKind::SignExtend => (s0.unwrap_or(0), 0),
+            _ => (s0.unwrap_or(0), s1.unwrap_or(u.imm)),
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.states.iter().all(|&s| s == UopState::Done)
+    }
+}
+
+/// The enhanced memory controller's compute engine.
+pub struct Emc {
+    cfg: EmcConfig,
+    contexts: Vec<Option<Context>>,
+    dcache: SetAssocCache,
+    tlbs: Vec<CircularTlb>,
+    miss_pred: Vec<MissPredictor>,
+    /// Execution statistics (Figures 15, 17, 21, 22 inputs).
+    pub stats: EmcStats,
+}
+
+impl Emc {
+    /// Build an EMC for `cores` home cores.
+    pub fn new(cfg: &EmcConfig, cores: usize) -> Self {
+        let dcache_cfg = CacheConfig {
+            bytes: cfg.dcache_bytes,
+            ways: cfg.dcache_ways,
+            latency: cfg.dcache_latency,
+            mshrs: 8,
+        };
+        Emc {
+            cfg: *cfg,
+            contexts: (0..cfg.contexts).map(|_| None).collect(),
+            dcache: SetAssocCache::new(&dcache_cfg),
+            tlbs: (0..cores).map(|_| CircularTlb::new(cfg.tlb_entries)).collect(),
+            miss_pred: (0..cores)
+                .map(|_| MissPredictor::new(cfg.miss_pred_entries, cfg.miss_pred_threshold))
+                .collect(),
+            stats: EmcStats::default(),
+        }
+    }
+
+    /// Whether any issue context is free.
+    pub fn has_free_context(&self) -> bool {
+        self.contexts.iter().any(|c| c.is_none())
+    }
+
+    /// The chain currently occupying `ctx`, if any (the simulator uses
+    /// this to map load events back to home-core ROB ids).
+    pub fn context_chain(&self, ctx: usize) -> Option<&Chain> {
+        self.contexts.get(ctx)?.as_ref().map(|c| &c.chain)
+    }
+
+    /// Accept a chain into a free context, reserved immediately; the
+    /// chain's uops are still in flight on the ring until `active_at`,
+    /// before which no uop issues. The source miss's PTE is installed in
+    /// the home core's EMC TLB if absent (it travels with the chain,
+    /// §4.1.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns the chain back if every context is busy (the caller drops
+    /// it; the core simply executes normally).
+    pub fn start_chain(&mut self, chain: Chain, active_at: Cycle) -> Result<usize, Chain> {
+        let Some(slot) = self.contexts.iter().position(|c| c.is_none()) else {
+            self.stats.chains_rejected_busy += 1;
+            return Err(chain);
+        };
+        self.tlbs[chain.home_core].insert(tlb_page(chain.source_addr));
+        self.contexts[slot] = Some(Context::new(chain, self.cfg.prf_entries, active_at));
+        Ok(slot)
+    }
+
+    /// Deliver the source miss's data (the DRAM fill reached the memory
+    /// controller): execution of the chain can begin next tick.
+    pub fn deliver_source(&mut self, ctx: usize, value: u64) {
+        if let Some(c) = self.contexts[ctx].as_mut() {
+            let epr = c.chain.source_epr as usize;
+            c.prf[epr] = value;
+            c.prf_ready[epr] = true;
+            c.source_delivered = true;
+        }
+    }
+
+    /// Supply data for a load previously emitted as [`EmcEvent::Load`].
+    pub fn complete_load(&mut self, ctx: usize, uop: usize, value: u64) {
+        let Some(c) = self.contexts[ctx].as_mut() else { return };
+        if c.states[uop] != UopState::Issued {
+            return;
+        }
+        let u = c.chain.uops[uop];
+        c.states[uop] = UopState::Done;
+        if let Some(d) = u.dst {
+            c.prf[d as usize] = value;
+            c.prf_ready[d as usize] = true;
+        }
+        c.outbox.push(ChainResult { rob: u.rob, value, store: None });
+    }
+
+    /// Abort a chain from the outside (memory-disambiguation conflict
+    /// detected by the simulator, §4.3).
+    pub fn force_abort(&mut self, ctx: usize, reason: AbortReason) {
+        if let Some(c) = self.contexts[ctx].as_mut() {
+            if c.aborted.is_none() {
+                c.aborted = Some(reason);
+            }
+        }
+    }
+
+    /// Collect a finished context announced via [`EmcEvent::ChainDone`] /
+    /// [`EmcEvent::ChainAborted`], freeing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is empty.
+    pub fn take_finished(&mut self, ctx: usize) -> FinishedChain {
+        let c = self.contexts[ctx].take().expect("context not empty");
+        FinishedChain { chain: c.chain, results: c.outbox, aborted: c.aborted }
+    }
+
+    /// Drain the results completed in `ctx` since the last drain (called
+    /// by the simulator on [`EmcEvent::Results`]).
+    pub fn drain_results(&mut self, ctx: usize) -> Vec<ChainResult> {
+        self.contexts[ctx]
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.outbox))
+            .unwrap_or_default()
+    }
+
+    /// A line arrived from DRAM at this memory controller: fill the EMC
+    /// data cache (§4.1.3 — it "holds the most recent lines that have
+    /// been transmitted from DRAM to the chip"). Returns the evicted
+    /// line, whose LLC directory bit the simulator must clear.
+    pub fn on_dram_fill(&mut self, phys_line: LineAddr) -> Option<LineAddr> {
+        self.dcache.fill(phys_line, false, false).map(|ev| ev.line)
+    }
+
+    /// Coherence: invalidate a line (LLC eviction of a line whose
+    /// directory bit is set, or a conflicting store).
+    pub fn invalidate_line(&mut self, phys_line: LineAddr) {
+        self.dcache.invalidate(phys_line);
+    }
+
+    /// Train the per-core LLC miss predictor with an observed outcome.
+    pub fn train_miss_predictor(&mut self, core: CoreId, pc: u64, was_miss: bool) {
+        self.miss_pred[core].train(pc, was_miss);
+    }
+
+    /// TLB shootdown (§4.1.4): the OS invalidated a translation; the
+    /// core's PTE bit says a copy lives at the EMC, so it must be
+    /// invalidated here too. Returns whether an entry was present.
+    pub fn tlb_shootdown(&mut self, core: CoreId, addr: Addr) -> bool {
+        self.tlbs[core].invalidate(tlb_page(addr))
+    }
+
+    /// Whether the EMC TLB currently holds `addr`'s translation for
+    /// `core` (the core-side PTE bit of §4.1.4).
+    pub fn tlb_resident(&self, core: CoreId, addr: Addr) -> bool {
+        self.tlbs[core].contains(tlb_page(addr))
+    }
+
+    /// Advance one EMC cycle: issue up to `issue_width` ready uops across
+    /// all contexts (oldest context first) and announce finished chains.
+    pub fn tick(&mut self, _now: Cycle) -> Vec<EmcEvent> {
+        let mut events = Vec::new();
+        let mut issued = 0;
+        for ctx in 0..self.contexts.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let Some(c) = self.contexts[ctx].as_ref() else { continue };
+            if !c.source_delivered || c.aborted.is_some() || _now < c.active_at {
+                continue;
+            }
+            let ready: Vec<usize> = (0..c.chain.uops.len())
+                .filter(|&i| c.uop_ready(i))
+                .take(self.cfg.issue_width - issued)
+                .collect();
+            for i in ready {
+                issued += 1;
+                self.issue_uop(ctx, i, &mut events);
+                if self.contexts[ctx].as_ref().is_none_or(|c| c.aborted.is_some()) {
+                    break;
+                }
+            }
+        }
+        // Stream back results completed this cycle, then announce
+        // terminal states.
+        for ctx in 0..self.contexts.len() {
+            let Some(c) = self.contexts[ctx].as_mut() else { continue };
+            if !c.outbox.is_empty() && c.aborted.is_none() {
+                events.push(EmcEvent::Results { ctx });
+            }
+            if c.announced {
+                continue;
+            }
+            if let Some(reason) = c.aborted {
+                c.announced = true;
+                events.push(EmcEvent::ChainAborted { ctx, reason });
+            } else if c.all_done() {
+                c.announced = true;
+                self.stats.chains_executed += 1;
+                events.push(EmcEvent::ChainDone { ctx });
+            }
+        }
+        events
+    }
+
+    fn issue_uop(&mut self, ctx: usize, i: usize, events: &mut Vec<EmcEvent>) {
+        let c = self.contexts[ctx].as_mut().expect("context exists");
+        let u = c.chain.uops[i];
+        self.stats.uops_executed += 1;
+        match u.kind {
+            UopKind::Branch(cond) => {
+                let v = u.srcs[0].and_then(|s| c.src_value(s)).unwrap_or(0);
+                let taken = emc_types::StaticUop::branch_taken(cond, v);
+                c.states[i] = UopState::Done;
+                if taken != u.predicted_taken {
+                    // The core must re-execute the branch locally to
+                    // redirect fetch: no result is returned.
+                    self.stats.branch_mispredicts_detected += 1;
+                    c.aborted = Some(AbortReason::BranchMispredict);
+                } else {
+                    c.outbox.push(ChainResult { rob: u.rob, value: u64::from(taken), store: None });
+                }
+            }
+            UopKind::Store => {
+                let (base, value) = {
+                    let b = u.srcs[0].and_then(|s| c.src_value(s)).unwrap_or(0);
+                    let v = u.srcs[1].and_then(|s| c.src_value(s)).unwrap_or(0);
+                    (b, v)
+                };
+                let addr = Addr(base.wrapping_add(u.imm));
+                c.store_buffer.push((addr, value));
+                c.states[i] = UopState::Done;
+                c.outbox.push(ChainResult { rob: u.rob, value, store: Some((addr, value)) });
+                self.stats.stores_executed += 1;
+            }
+            UopKind::Load => {
+                let base = u.srcs[0].and_then(|s| c.src_value(s)).unwrap_or(0);
+                let addr = Addr(base.wrapping_add(u.imm));
+                let home = c.chain.home_core;
+                self.stats.loads_executed += 1;
+                // 1. Virtual address translation (§4.1.4).
+                let page = tlb_page(addr);
+                if !self.tlbs[home].contains(page) {
+                    self.stats.tlb_misses += 1;
+                    // Model the core sending the PTE along with the
+                    // re-execution notification, so the next chain to
+                    // this page succeeds.
+                    self.tlbs[home].insert(page);
+                    c.states[i] = UopState::Done;
+                    c.aborted = Some(AbortReason::TlbMiss);
+                    return;
+                }
+                self.stats.tlb_hits += 1;
+                // 2. In-chain store forwarding (register fills).
+                if let Some(&(_, v)) =
+                    c.store_buffer.iter().rev().find(|&&(a, _)| a == addr)
+                {
+                    c.states[i] = UopState::Done;
+                    if let Some(d) = u.dst {
+                        c.prf[d as usize] = v;
+                        c.prf_ready[d as usize] = true;
+                    }
+                    c.outbox.push(ChainResult { rob: u.rob, value: v, store: None });
+                    return;
+                }
+                // 3. EMC data cache.
+                let pline = physical_line(home, addr.line());
+                self.stats.dcache_accesses += 1;
+                let route = if self.dcache.access(pline, false).is_some() {
+                    self.stats.dcache_hits += 1;
+                    LoadRoute::DcacheHit
+                } else if self.miss_pred[home].predict_miss(u.pc) {
+                    // 4. Predicted LLC miss: straight to DRAM.
+                    self.stats.direct_to_dram += 1;
+                    LoadRoute::DirectDram
+                } else {
+                    self.stats.llc_lookups += 1;
+                    LoadRoute::Llc
+                };
+                c.states[i] = UopState::Issued;
+                events.push(EmcEvent::Load {
+                    ctx,
+                    uop: i,
+                    home_core: home,
+                    vaddr: addr,
+                    pc: u.pc,
+                    route,
+                });
+            }
+            kind => {
+                let (a, b) = c.operands(&u);
+                let value = kind.alu(a, b);
+                c.states[i] = UopState::Done;
+                if let Some(d) = u.dst {
+                    c.prf[d as usize] = value;
+                    c.prf_ready[d as usize] = true;
+                }
+                c.outbox.push(ChainResult { rob: u.rob, value, store: None });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainSrc, ChainUop};
+    use emc_types::BranchCond;
+
+    fn cfg() -> EmcConfig {
+        EmcConfig::default()
+    }
+
+    /// Chain: E0 = source; add E1 = E0 + 8; ld E2 <- [E1].
+    fn simple_chain() -> Chain {
+        Chain {
+            home_core: 0,
+            source_rob: 10,
+            source_epr: 0,
+            source_addr: Addr(0x100),
+            uops: vec![
+                ChainUop {
+                    rob: 11,
+                    kind: UopKind::IntAdd,
+                    srcs: [Some(ChainSrc::Epr(0)), None],
+                    dst: Some(1),
+                    imm: 8,
+                    pc: 0x44,
+                    predicted_taken: false,
+                },
+                ChainUop {
+                    rob: 12,
+                    kind: UopKind::Load,
+                    srcs: [Some(ChainSrc::Epr(1)), None],
+                    dst: Some(2),
+                    imm: 0,
+                    pc: 0x48,
+                    predicted_taken: false,
+                },
+            ],
+            live_ins: vec![],
+            imm_live_ins: 1,
+        }
+    }
+
+    fn drive_until_event(emc: &mut Emc, pred: impl Fn(&EmcEvent) -> bool, max: u64) -> EmcEvent {
+        for now in 0..max {
+            for ev in emc.tick(now) {
+                if pred(&ev) {
+                    return ev;
+                }
+            }
+        }
+        panic!("event not produced within {max} ticks");
+    }
+
+    /// Drive until the chain in `ctx` completes, draining streamed
+    /// results along the way.
+    fn drive_collect(emc: &mut Emc, ctx: usize, max: u64) -> Vec<ChainResult> {
+        let mut results = Vec::new();
+        for now in 0..max {
+            for ev in emc.tick(now) {
+                match ev {
+                    EmcEvent::Results { ctx: c } if c == ctx => {
+                        results.extend(emc.drain_results(ctx));
+                    }
+                    EmcEvent::ChainDone { ctx: c } if c == ctx => {
+                        results.extend(emc.take_finished(ctx).results);
+                        return results;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        panic!("chain did not complete within {max} ticks");
+    }
+
+    #[test]
+    fn chain_executes_after_source_delivery() {
+        let mut emc = Emc::new(&cfg(), 4);
+        let ctx = emc.start_chain(simple_chain(), 0).unwrap();
+        // No source data yet: nothing happens.
+        assert!(emc.tick(0).is_empty());
+        emc.deliver_source(ctx, 0x4000);
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
+        let EmcEvent::Load { vaddr, route, uop, .. } = ev else { unreachable!() };
+        assert_eq!(vaddr, Addr(0x4008), "address = source value + 8");
+        assert_eq!(route, LoadRoute::Llc, "cold predictor assumes LLC hit");
+        let mut results = emc.drain_results(ctx); // the ADD's result
+        emc.complete_load(ctx, uop, 777);
+        results.extend(emc.drain_results(ctx));
+        let _ = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainDone { .. }), 10);
+        results.extend(emc.take_finished(ctx).results);
+        results.sort_by_key(|r| r.rob);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0], ChainResult { rob: 11, value: 0x4008, store: None });
+        assert_eq!(results[1], ChainResult { rob: 12, value: 777, store: None });
+        assert!(emc.has_free_context());
+        assert_eq!(emc.stats.chains_executed, 1);
+        assert_eq!(emc.stats.loads_executed, 1);
+    }
+
+    #[test]
+    fn miss_predictor_routes_direct_to_dram() {
+        let mut emc = Emc::new(&cfg(), 4);
+        for _ in 0..8 {
+            emc.train_miss_predictor(0, 0x48, true);
+        }
+        let ctx = emc.start_chain(simple_chain(), 0).unwrap();
+        emc.deliver_source(ctx, 0x4000);
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
+        let EmcEvent::Load { route, .. } = ev else { unreachable!() };
+        assert_eq!(route, LoadRoute::DirectDram);
+        assert_eq!(emc.stats.direct_to_dram, 1);
+    }
+
+    #[test]
+    fn dcache_hit_routes_locally() {
+        let mut emc = Emc::new(&cfg(), 4);
+        // The line containing 0x4008 arrived from DRAM earlier.
+        emc.on_dram_fill(physical_line(0, Addr(0x4008).line()));
+        let ctx = emc.start_chain(simple_chain(), 0).unwrap();
+        emc.deliver_source(ctx, 0x4000);
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
+        let EmcEvent::Load { route, .. } = ev else { unreachable!() };
+        assert_eq!(route, LoadRoute::DcacheHit);
+        assert_eq!(emc.stats.dcache_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn coherence_invalidation_blocks_dcache_hit() {
+        let mut emc = Emc::new(&cfg(), 4);
+        let pline = physical_line(0, Addr(0x4008).line());
+        emc.on_dram_fill(pline);
+        emc.invalidate_line(pline);
+        let ctx = emc.start_chain(simple_chain(), 0).unwrap();
+        emc.deliver_source(ctx, 0x4000);
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
+        let EmcEvent::Load { route, .. } = ev else { unreachable!() };
+        assert_ne!(route, LoadRoute::DcacheHit);
+    }
+
+    #[test]
+    fn tlb_miss_aborts_chain() {
+        let mut emc = Emc::new(&cfg(), 4);
+        let mut chain = simple_chain();
+        // Dependent load lands on a far page; source page (0x100) is
+        // installed by start_chain but 0x4008's page is not.
+        chain.source_addr = Addr(0x100);
+        let ctx = emc.start_chain(chain, 0).unwrap();
+        emc.deliver_source(ctx, 0x4_0000_0000);
+        let ev =
+            drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
+        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        assert_eq!(reason, AbortReason::TlbMiss);
+        assert_eq!(emc.stats.tlb_misses, 1);
+        let fin = emc.take_finished(ctx);
+        assert_eq!(fin.aborted, Some(AbortReason::TlbMiss));
+        // The ADD executed before the load's TLB miss; its residual
+        // result is discarded by the abort path (the core re-executes
+        // the whole chain, §4.1.4).
+        assert!(fin.results.len() <= 1);
+    }
+
+    #[test]
+    fn branch_mispredict_detected_and_aborts() {
+        let mut emc = Emc::new(&cfg(), 4);
+        let chain = Chain {
+            home_core: 1,
+            source_rob: 20,
+            source_epr: 0,
+            source_addr: Addr(0x100),
+            uops: vec![ChainUop {
+                rob: 21,
+                kind: UopKind::Branch(BranchCond::Zero),
+                srcs: [Some(ChainSrc::Epr(0)), None],
+                dst: None,
+                imm: 0,
+                pc: 0x80,
+                predicted_taken: false, // predicted not-taken
+            }],
+            live_ins: vec![],
+            imm_live_ins: 0,
+        };
+        let ctx = emc.start_chain(chain, 0).unwrap();
+        emc.deliver_source(ctx, 0); // value 0 → brz taken → mispredict
+        let ev =
+            drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
+        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        assert_eq!(reason, AbortReason::BranchMispredict);
+        assert_eq!(emc.stats.branch_mispredicts_detected, 1);
+    }
+
+    #[test]
+    fn correctly_predicted_branch_passes() {
+        let mut emc = Emc::new(&cfg(), 4);
+        let chain = Chain {
+            home_core: 0,
+            source_rob: 20,
+            source_epr: 0,
+            source_addr: Addr(0x100),
+            uops: vec![ChainUop {
+                rob: 21,
+                kind: UopKind::Branch(BranchCond::NotZero),
+                srcs: [Some(ChainSrc::Epr(0)), None],
+                dst: None,
+                imm: 0,
+                pc: 0x80,
+                predicted_taken: true,
+            }],
+            live_ins: vec![],
+            imm_live_ins: 0,
+        };
+        let ctx = emc.start_chain(chain, 0).unwrap();
+        emc.deliver_source(ctx, 5);
+        let results = drive_collect(&mut emc, ctx, 10);
+        assert_eq!(results[0].value, 1);
+    }
+
+    #[test]
+    fn store_forwarding_within_chain() {
+        // st [E0 + 0x10] = E0 ; ld E1 <- [E0 + 0x10]: the fill must
+        // forward from the chain LSQ without a memory request.
+        let mut emc = Emc::new(&cfg(), 4);
+        let chain = Chain {
+            home_core: 0,
+            source_rob: 30,
+            source_epr: 0,
+            source_addr: Addr(0x100),
+            uops: vec![
+                ChainUop {
+                    rob: 31,
+                    kind: UopKind::Store,
+                    srcs: [Some(ChainSrc::Epr(0)), Some(ChainSrc::Epr(0))],
+                    dst: None,
+                    imm: 0x10,
+                    pc: 0x90,
+                    predicted_taken: false,
+                },
+                ChainUop {
+                    rob: 32,
+                    kind: UopKind::Load,
+                    srcs: [Some(ChainSrc::Epr(0)), None],
+                    dst: Some(1),
+                    imm: 0x10,
+                    pc: 0x94,
+                    predicted_taken: false,
+                },
+            ],
+            live_ins: vec![],
+            imm_live_ins: 0,
+        };
+        let ctx = emc.start_chain(chain, 0).unwrap();
+        emc.deliver_source(ctx, 0x2000);
+        let mut saw_load_event = false;
+        let mut results = Vec::new();
+        for now in 0..10 {
+            for ev in emc.tick(now) {
+                match ev {
+                    EmcEvent::Load { .. } => saw_load_event = true,
+                    EmcEvent::Results { ctx: c } if c == ctx => {
+                        results.extend(emc.drain_results(ctx));
+                    }
+                    EmcEvent::ChainDone { .. } => {
+                        results.extend(emc.take_finished(ctx).results);
+                        assert!(!saw_load_event, "fill must forward, not issue");
+                        results.sort_by_key(|r| r.rob);
+                        assert_eq!(results[0].store, Some((Addr(0x2010), 0x2000)));
+                        assert_eq!(results[1].value, 0x2000);
+                        assert_eq!(emc.stats.stores_executed, 1);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        panic!("chain did not finish");
+    }
+
+    #[test]
+    fn contexts_fill_and_reject() {
+        let mut emc = Emc::new(&cfg(), 4);
+        assert!(emc.start_chain(simple_chain(), 0).is_ok());
+        assert!(emc.start_chain(simple_chain(), 0).is_ok());
+        assert!(!emc.has_free_context(), "default EMC has 2 contexts");
+        assert!(emc.start_chain(simple_chain(), 0).is_err());
+        assert_eq!(emc.stats.chains_rejected_busy, 1);
+    }
+
+    #[test]
+    fn issue_width_throttles_alu_throughput() {
+        // A chain of 6 independent ALU uops (all read E0): with a 2-wide
+        // back-end they need 3 ticks.
+        let mut emc = Emc::new(&cfg(), 4);
+        let uops: Vec<ChainUop> = (0..6)
+            .map(|k| ChainUop {
+                rob: 40 + k as u64,
+                kind: UopKind::IntAdd,
+                srcs: [Some(ChainSrc::Epr(0)), None],
+                dst: Some(1 + k as u8),
+                imm: k as u64,
+                pc: 0x100 + 4 * k as u64,
+                predicted_taken: false,
+            })
+            .collect();
+        let chain = Chain {
+            home_core: 0,
+            source_rob: 39,
+            source_epr: 0,
+            source_addr: Addr(0x100),
+            uops,
+            live_ins: vec![],
+            imm_live_ins: 6,
+        };
+        let ctx = emc.start_chain(chain, 0).unwrap();
+        emc.deliver_source(ctx, 100);
+        let mut done_tick = None;
+        for now in 0..10 {
+            for ev in emc.tick(now) {
+                if matches!(ev, EmcEvent::ChainDone { .. }) {
+                    done_tick = Some(now);
+                }
+            }
+            if done_tick.is_some() {
+                break;
+            }
+        }
+        assert_eq!(done_tick, Some(2), "6 uops / 2-wide = 3 ticks (0,1,2)");
+    }
+
+    #[test]
+    fn tlb_shootdown_invalidate_and_reinstall() {
+        let mut emc = Emc::new(&cfg(), 4);
+        let ctx = emc.start_chain(simple_chain(), 0).unwrap();
+        assert!(emc.tlb_resident(0, Addr(0x100)), "PTE installed with the chain");
+        // Shootdown removes it; chains touching that page now abort.
+        assert!(emc.tlb_shootdown(0, Addr(0x100)));
+        assert!(!emc.tlb_resident(0, Addr(0x100)));
+        assert!(!emc.tlb_shootdown(0, Addr(0x100)), "second shootdown is a miss");
+        // The running chain's next load now TLB-misses and aborts — the
+        // §4.1.4 behavior the shootdown machinery must preserve.
+        emc.deliver_source(ctx, 0x4000);
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
+        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        assert_eq!(reason, AbortReason::TlbMiss);
+        emc.take_finished(ctx);
+        // A later chain reinstalls the PTE (it ships with the chain).
+        let _ctx2 = emc.start_chain(simple_chain(), 0).unwrap();
+        assert!(emc.tlb_resident(0, Addr(0x100)));
+        // Shootdowns are per-core: core 1's TLB is unaffected.
+        assert!(!emc.tlb_shootdown(1, Addr(0x100)));
+    }
+
+    #[test]
+    fn force_abort_for_disambiguation() {
+        let mut emc = Emc::new(&cfg(), 4);
+        let ctx = emc.start_chain(simple_chain(), 0).unwrap();
+        emc.deliver_source(ctx, 0x4000);
+        emc.force_abort(ctx, AbortReason::Disambiguation);
+        let ev =
+            drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
+        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        assert_eq!(reason, AbortReason::Disambiguation);
+    }
+}

@@ -1,0 +1,172 @@
+//! Hybrid branch predictor (Table 1: "hybrid branch predictor").
+//!
+//! A classic McFarling-style combination: a gshare component (global
+//! history XOR PC), a bimodal component (PC-indexed), and a chooser table
+//! that learns which component to trust per branch. Global history is
+//! updated speculatively at predict time and repaired from a checkpoint on
+//! misprediction, exactly as a real front end would.
+
+/// Prediction metadata carried in the ROB entry so the predictor can be
+/// trained (and its history repaired) at resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictInfo {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Global history *before* this prediction (checkpoint).
+    pub history: u64,
+}
+
+/// Two-bit saturating counter helpers.
+fn bump(c: &mut u8, up: bool) {
+    if up {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+fn strong(c: u8) -> bool {
+    c >= 2
+}
+
+/// The hybrid predictor.
+///
+/// # Example
+///
+/// ```
+/// use emc_cpu::bpred::HybridPredictor;
+///
+/// let mut bp = HybridPredictor::new(1024);
+/// // A branch that is always taken trains to "taken".
+/// for _ in 0..8 {
+///     let p = bp.predict(0x40);
+///     bp.resolve(0x40, p, true);
+/// }
+/// assert!(bp.predict(0x40).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    gshare: Vec<u8>,
+    bimodal: Vec<u8>,
+    chooser: Vec<u8>,
+    history: u64,
+    mask: u64,
+}
+
+impl HybridPredictor {
+    /// Create a predictor with `entries` slots per table (rounded up to a
+    /// power of two).
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(16);
+        HybridPredictor {
+            gshare: vec![1; n],
+            bimodal: vec![1; n],
+            chooser: vec![2; n], // slight initial bias toward gshare
+            history: 0,
+            mask: n as u64 - 1,
+        }
+    }
+
+    fn gshare_idx(&self, pc: u64, history: u64) -> usize {
+        (((pc >> 2) ^ history) & self.mask) as usize
+    }
+
+    fn pc_idx(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predict the direction of the branch at `pc`, speculatively updating
+    /// global history.
+    pub fn predict(&mut self, pc: u64) -> PredictInfo {
+        let checkpoint = self.history;
+        let g = strong(self.gshare[self.gshare_idx(pc, checkpoint)]);
+        let b = strong(self.bimodal[self.pc_idx(pc)]);
+        let use_gshare = strong(self.chooser[self.pc_idx(pc)]);
+        let taken = if use_gshare { g } else { b };
+        self.history = (self.history << 1) | u64::from(taken);
+        PredictInfo { taken, history: checkpoint }
+    }
+
+    /// Train on the resolved outcome. On a misprediction, repairs global
+    /// history from the checkpoint and re-applies the correct direction.
+    pub fn resolve(&mut self, pc: u64, info: PredictInfo, taken: bool) {
+        let gi = self.gshare_idx(pc, info.history);
+        let pi = self.pc_idx(pc);
+        let g_correct = strong(self.gshare[gi]) == taken;
+        let b_correct = strong(self.bimodal[pi]) == taken;
+        bump(&mut self.gshare[gi], taken);
+        bump(&mut self.bimodal[pi], taken);
+        if g_correct != b_correct {
+            bump(&mut self.chooser[pi], g_correct);
+        }
+        if info.taken != taken {
+            // Squash the wrong speculative history and insert the truth.
+            self.history = (info.history << 1) | u64::from(taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken() {
+        let mut bp = HybridPredictor::new(256);
+        let mut wrong = 0;
+        for _ in 0..50 {
+            let p = bp.predict(0x100);
+            if !p.taken {
+                wrong += 1;
+            }
+            bp.resolve(0x100, p, true);
+        }
+        assert!(wrong <= 3, "{wrong} mispredicts on an always-taken branch");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut bp = HybridPredictor::new(1024);
+        let mut wrong = 0;
+        let mut taken = false;
+        for i in 0..200 {
+            taken = !taken;
+            let p = bp.predict(0x200);
+            if i > 50 && p.taken != taken {
+                wrong += 1;
+            }
+            bp.resolve(0x200, p, taken);
+        }
+        assert!(wrong < 15, "gshare should capture T/N/T/N: {wrong} wrong");
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_in_bimodal() {
+        let mut bp = HybridPredictor::new(1024);
+        for _ in 0..30 {
+            let p1 = bp.predict(0x400);
+            bp.resolve(0x400, p1, true);
+            let p2 = bp.predict(0x800);
+            bp.resolve(0x800, p2, false);
+        }
+        assert!(bp.predict(0x400).taken);
+        assert!(!bp.predict(0x800).taken);
+    }
+
+    #[test]
+    fn history_repaired_on_mispredict() {
+        let mut bp = HybridPredictor::new(64);
+        let p = bp.predict(0x10);
+        let h_before = p.history;
+        // Resolve opposite to the prediction: history must become
+        // checkpoint<<1 | actual.
+        bp.resolve(0x10, p, !p.taken);
+        assert_eq!(bp.history, (h_before << 1) | u64::from(!p.taken));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let bp = HybridPredictor::new(1000);
+        assert_eq!(bp.mask + 1, 1024);
+    }
+}

@@ -1,0 +1,1374 @@
+//! The out-of-order core pipeline: fetch with branch prediction, rename,
+//! a ROB-based instruction window with reservation-station and LSQ
+//! capacity limits, oldest-first issue, store-to-load forwarding,
+//! speculative wrong-path execution with flush-on-mispredict, and in-order
+//! retirement (Table 1: 4-wide, 256-entry ROB, 92-entry RS).
+//!
+//! The core is *execution-driven*: uop results are computed when they
+//! issue, so dependent-load addresses are real data values from the
+//! workload's memory image. Timing for loads comes from the owning
+//! simulator, which drains [`CoreEvent`]s and later calls
+//! [`Core::complete_load`].
+//!
+//! Everything the EMC's chain-generation unit needs — the ROB contents,
+//! per-entry wakeup (waiter) lists that implement the paper's
+//! pseudo-wakeup dataflow walk, source-operand readiness and values — is
+//! exposed read-only here and consumed by the `emc-core` crate.
+
+use crate::bpred::{HybridPredictor, PredictInfo};
+use emc_types::program::{Program, StaticUop};
+use emc_types::{Addr, CoreConfig, CoreStats, Cycle, MemoryImage, Reg, UopKind, NUM_ARCH_REGS};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// Identifier of a dynamic uop: unique, monotonically increasing, never
+/// reused within a run.
+pub type RobId = u64;
+
+/// A source operand as captured at rename.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcOp {
+    /// The value, once available.
+    pub value: Option<u64>,
+    /// The in-flight producer at rename time (None = committed register
+    /// or immediate-only).
+    pub producer: Option<RobId>,
+    /// Whether the value derives from an in-flight LLC miss.
+    pub taint: bool,
+    /// Dependence-chain depth (ALU ops since the source miss).
+    pub depth: u16,
+    /// Runahead INV bit: the value descends from the runahead-entry miss
+    /// and is architecturally meaningless.
+    pub inv: bool,
+}
+
+impl SrcOp {
+    fn absent() -> Self {
+        SrcOp { value: Some(0), producer: None, taint: false, depth: 0, inv: false }
+    }
+
+    /// Whether the operand's value is available.
+    pub fn ready(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Dispatched, waiting for operands or issue bandwidth.
+    Waiting,
+    /// Issued to an execution unit (or the memory system).
+    Issued,
+    /// Completed; result (if any) is valid.
+    Done,
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Dynamic uop id.
+    pub id: RobId,
+    /// Index of the static uop in the program.
+    pub prog_idx: usize,
+    /// The static uop.
+    pub uop: StaticUop,
+    /// Synthetic PC.
+    pub pc: u64,
+    /// Execution state.
+    pub state: EntryState,
+    /// Captured source operands.
+    pub srcs: [SrcOp; 2],
+    /// Result value (valid when `Done` and the uop has a destination).
+    pub result: u64,
+    /// Resolved memory address (mem ops, once issued).
+    pub addr: Option<Addr>,
+    /// Store data (stores, once issued).
+    pub store_value: Option<u64>,
+    /// Shipped to the EMC: the core must not issue it locally.
+    pub remote: bool,
+    /// This load went past the LLC to memory (set by the owning sim).
+    pub llc_miss: bool,
+    /// Output taint: this value derives from an in-flight LLC miss.
+    pub tainted: bool,
+    /// Output chain depth (ALU ops since the source miss).
+    pub chain_depth: u16,
+    /// Consumers waiting for this entry's result: (consumer id, src slot).
+    pub waiters: Vec<(RobId, u8)>,
+    /// Branch-prediction checkpoint (branches only).
+    pub bp: Option<PredictInfo>,
+    /// Predicted direction at fetch (branches only).
+    pub predicted_taken: bool,
+    /// Whether this load's value was forwarded from an older store.
+    pub forwarded: bool,
+    /// Whether this load currently holds an in-flight memory slot.
+    mem_pending: bool,
+    /// Runahead INV bit (result is meaningless, §2's runahead contrast).
+    pub inv: bool,
+}
+
+/// Events emitted by the core for the owning simulator to act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreEvent {
+    /// A load left the pipeline toward the cache hierarchy.
+    LoadIssued {
+        /// The load's ROB id (echoed back via [`Core::complete_load`]).
+        rob: RobId,
+        /// The load's byte address.
+        addr: Addr,
+        /// PC for prefetcher training / miss prediction.
+        pc: u64,
+    },
+    /// A store retired and its data was committed to the memory image;
+    /// the simulator should mark caches dirty.
+    StoreRetired {
+        /// The store's byte address.
+        addr: Addr,
+    },
+}
+
+/// The out-of-order core.
+pub struct Core {
+    cfg: CoreConfig,
+    program: Arc<Program>,
+    /// The core's private functional memory image.
+    pub mem: MemoryImage,
+    /// Pipeline statistics.
+    pub stats: CoreStats,
+
+    // --- front end ---
+    bpred: HybridPredictor,
+    fetch_idx: usize,
+    fetch_resume_at: Cycle,
+    program_done: bool,
+
+    // --- window ---
+    rob: VecDeque<RobEntry>,
+    next_id: RobId,
+    rename: [Option<RobId>; NUM_ARCH_REGS],
+    committed: [u64; NUM_ARCH_REGS],
+    ready: BTreeSet<RobId>,
+    completing: BinaryHeap<std::cmp::Reverse<(Cycle, RobId)>>,
+    unresolved_stores: BTreeSet<RobId>,
+    store_ids: VecDeque<RobId>,
+    waiting_count: usize,
+    mem_inflight: usize,
+
+    finished_at: Option<Cycle>,
+
+    // --- runahead execution (optional baseline, HPCA 2003) ---
+    runahead: Option<Runahead>,
+    committed_inv: [bool; NUM_ARCH_REGS],
+}
+
+/// Checkpoint taken when entering runahead mode.
+#[derive(Debug, Clone)]
+struct Runahead {
+    /// The blocking miss whose return ends the episode.
+    source_rob: RobId,
+    /// Program index to resume fetch from.
+    resume_idx: usize,
+    /// Architectural registers at entry (the head was the oldest
+    /// un-retired uop, so the committed file is precise here).
+    checkpoint: [u64; NUM_ARCH_REGS],
+}
+
+impl Core {
+    /// Create a core executing `program` against `mem`.
+    pub fn new(cfg: &CoreConfig, program: Arc<Program>, mem: MemoryImage) -> Self {
+        Core {
+            cfg: *cfg,
+            bpred: HybridPredictor::new(cfg.bp_table_entries),
+            program,
+            mem,
+            stats: CoreStats::default(),
+            fetch_idx: 0,
+            fetch_resume_at: 0,
+            program_done: false,
+            rob: VecDeque::new(),
+            next_id: 0,
+            rename: [None; NUM_ARCH_REGS],
+            committed: [0; NUM_ARCH_REGS],
+            ready: BTreeSet::new(),
+            completing: BinaryHeap::new(),
+            unresolved_stores: BTreeSet::new(),
+            store_ids: VecDeque::new(),
+            waiting_count: 0,
+            mem_inflight: 0,
+            finished_at: None,
+            runahead: None,
+            committed_inv: [false; NUM_ARCH_REGS],
+        }
+    }
+
+    /// The cycle the program finished (fetch past the end and ROB empty).
+    pub fn finished_at(&self) -> Option<Cycle> {
+        self.finished_at
+    }
+
+    /// Committed architectural register values.
+    pub fn committed_regs(&self) -> &[u64; NUM_ARCH_REGS] {
+        &self.committed
+    }
+
+    /// Look up an in-flight entry by id. ROB ids are strictly increasing
+    /// front-to-back but may have gaps after a mispredict flush (squashed
+    /// ids are never reused), so lookup is a binary search.
+    pub fn entry(&self, id: RobId) -> Option<&RobEntry> {
+        let idx = self.rob.binary_search_by_key(&id, |e| e.id).ok()?;
+        self.rob.get(idx)
+    }
+
+    fn entry_mut(&mut self, id: RobId) -> Option<&mut RobEntry> {
+        let idx = self.rob.binary_search_by_key(&id, |e| e.id).ok()?;
+        self.rob.get_mut(idx)
+    }
+
+    /// Iterate the ROB from oldest to youngest.
+    pub fn rob_iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.rob.iter()
+    }
+
+    /// Diagnostics: ids currently in the ready (issueable) set.
+    #[doc(hidden)]
+    pub fn debug_ready(&self) -> Vec<RobId> {
+        self.ready.iter().copied().collect()
+    }
+
+    /// Diagnostics: (waiting_count, fetch_resume_at, program_done).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> (usize, Cycle, bool) {
+        (self.waiting_count, self.fetch_resume_at, self.program_done)
+    }
+
+    /// Current ROB occupancy.
+    pub fn rob_len(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// The window is completely full.
+    pub fn rob_full(&self) -> bool {
+        self.rob.len() >= self.cfg.rob_entries
+    }
+
+    /// If the core is in a full-window stall whose head is an outstanding
+    /// LLC-miss load, return the head's id (the EMC trigger, §4.2).
+    ///
+    /// "Full window" means dispatch is blocked by any window resource —
+    /// ROB, reservation stations, or LSQ — while an LLC miss blocks
+    /// retirement. Dependence-heavy code (mcf-style chains) fills the
+    /// 92-entry RS with waiting uops long before the 256-entry ROB.
+    pub fn full_window_stall(&self) -> Option<RobId> {
+        let blocked = self.rob_full()
+            || self.waiting_count >= self.cfg.rs_entries
+            || self.mem_ops_in_rob() >= self.cfg.lsq_entries;
+        if !blocked {
+            return None;
+        }
+        let head = self.rob.front()?;
+        (head.uop.kind == UopKind::Load && head.llc_miss && head.state != EntryState::Done)
+            .then_some(head.id)
+    }
+
+    /// Whether the core is currently in a runahead episode.
+    pub fn in_runahead(&self) -> bool {
+        self.runahead.is_some()
+    }
+
+    /// Enter runahead mode at the blocking head miss `source`: checkpoint
+    /// the architectural state, invalidate the miss's destination, and
+    /// keep (pseudo-)executing to prefetch independent misses.
+    fn enter_runahead(&mut self, source: RobId, now: Cycle) {
+        debug_assert!(self.runahead.is_none());
+        let Some(e) = self.entry(source) else { return };
+        let resume_idx = e.prog_idx;
+        self.runahead = Some(Runahead {
+            source_rob: source,
+            resume_idx,
+            checkpoint: self.committed,
+        });
+        self.stats.runahead_entries += 1;
+        // Pseudo-complete the blocking load with an INV result so the
+        // window can drain past it.
+        if let Some(e) = self.entry_mut(source) {
+            if e.state == EntryState::Issued {
+                e.inv = true;
+                e.result = 0;
+                self.finish_entry(source, now);
+            }
+        }
+    }
+
+    /// The blocking miss returned: throw away all runahead state and
+    /// resume from the checkpoint. In-flight runahead memory requests
+    /// keep filling the caches (the prefetch benefit).
+    fn exit_runahead(&mut self, now: Cycle) {
+        let ra = self.runahead.take().expect("in runahead");
+        self.rob.clear();
+        self.ready.clear();
+        self.completing.clear();
+        self.unresolved_stores.clear();
+        self.store_ids.clear();
+        self.waiting_count = 0;
+        self.mem_inflight = 0;
+        self.rename = [None; NUM_ARCH_REGS];
+        self.committed = ra.checkpoint;
+        self.committed_inv = [false; NUM_ARCH_REGS];
+        self.fetch_idx = ra.resume_idx;
+        self.program_done = false;
+        self.fetch_resume_at = now + self.cfg.mispredict_penalty;
+    }
+
+    /// Mark a load that merged onto an already-outstanding miss: it
+    /// experiences the miss latency (and carries miss taint for
+    /// dependence tracking) but is not a distinct LLC miss for MPKI or
+    /// dependent-miss statistics.
+    pub fn mark_llc_miss_merged(&mut self, id: RobId) {
+        if let Some(e) = self.entry_mut(id) {
+            e.llc_miss = true;
+        }
+    }
+
+    /// Mark a load as having missed the LLC (called by the simulator as
+    /// soon as the miss is known, always before completion).
+    pub fn mark_llc_miss(&mut self, id: RobId) {
+        let mut record: Option<(bool, u16)> = None;
+        if let Some(e) = self.entry_mut(id) {
+            e.llc_miss = true;
+            let src_taint = e.srcs.iter().any(|s| s.taint);
+            if src_taint {
+                let depth = e.srcs.iter().filter(|s| s.taint).map(|s| s.depth).max().unwrap_or(0);
+                record = Some((true, depth));
+            }
+        }
+        if let Some((_, depth)) = record {
+            self.stats.dependent_llc_misses += 1;
+            self.stats.dep_chain_pairs += 1;
+            self.stats.dep_chain_uop_sum += depth as u64;
+        }
+    }
+
+    /// Record that this load's (would-be dependent) miss was covered by a
+    /// prefetched line (Figure 3 / 21 accounting, called by the sim).
+    pub fn note_dependent_covered_by_prefetch(&mut self, id: RobId) {
+        if let Some(e) = self.entry(id) {
+            if e.srcs.iter().any(|s| s.taint) {
+                self.stats.dependent_misses_prefetched += 1;
+            }
+        }
+    }
+
+    /// Whether this load is data-dependent on an in-flight LLC miss.
+    pub fn load_is_dependent(&self, id: RobId) -> bool {
+        self.entry(id).is_some_and(|e| e.srcs.iter().any(|s| s.taint))
+    }
+
+    /// Complete an outstanding load issued to the memory system. Ignored
+    /// if the load was flushed (the memory request outlives the squash).
+    pub fn complete_load(&mut self, id: RobId, now: Cycle) {
+        if self.runahead.as_ref().is_some_and(|ra| ra.source_rob == id) {
+            self.exit_runahead(now);
+            return;
+        }
+        let released = {
+            let Some(e) = self.entry_mut(id) else { return };
+            if e.uop.kind != UopKind::Load {
+                return;
+            }
+            let released = e.mem_pending;
+            e.mem_pending = false;
+            if e.state != EntryState::Issued {
+                // Already completed (e.g. remotely by the EMC); just
+                // release the slot.
+                if released {
+                    self.mem_inflight = self.mem_inflight.saturating_sub(1);
+                }
+                return;
+            }
+            released
+        };
+        if released {
+            self.mem_inflight = self.mem_inflight.saturating_sub(1);
+        }
+        self.finish_entry(id, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Remote (EMC) execution interface
+    // ------------------------------------------------------------------
+
+    /// Mark chain entries as executing remotely at the EMC: the local
+    /// scheduler will not issue them.
+    pub fn mark_remote(&mut self, ids: &[RobId]) {
+        for &id in ids {
+            self.ready.remove(&id);
+            if let Some(e) = self.entry_mut(id) {
+                e.remote = true;
+            }
+        }
+    }
+
+    /// Abort remote execution (EMC TLB miss, branch misprediction inside
+    /// the chain, disambiguation conflict): entries return to normal
+    /// scheduling and re-execute locally.
+    pub fn unmark_remote(&mut self, ids: &[RobId]) {
+        for &id in ids {
+            let ready = {
+                let Some(e) = self.entry_mut(id) else { continue };
+                if !e.remote {
+                    continue;
+                }
+                e.remote = false;
+                e.state == EntryState::Waiting && e.srcs.iter().all(|s| s.ready())
+            };
+            if ready {
+                self.ready.insert(id);
+            }
+        }
+    }
+
+    /// Complete a chain uop executed at the EMC: the returned physical
+    /// register value is broadcast on the core's CDB (§4.3: "Physical
+    /// register tags are broadcast on the home core CDB"). For stores,
+    /// pass the EMC-computed address and data so retirement can commit
+    /// them in program order.
+    pub fn complete_remote(
+        &mut self,
+        id: RobId,
+        result: u64,
+        store: Option<(Addr, u64)>,
+        now: Cycle,
+    ) {
+        {
+            let Some(e) = self.entry(id) else { return };
+            if e.state == EntryState::Done {
+                return;
+            }
+            // Note: the entry may have been unmarked by a racing chain
+            // abort and even begun local execution; the remote value is
+            // functionally identical, so completing it early is safe.
+            if e.state == EntryState::Waiting {
+                self.waiting_count = self.waiting_count.saturating_sub(1);
+            }
+        }
+        // It may sit in the ready set after an abort re-enabled it.
+        self.ready.remove(&id);
+        let e = self.entry_mut(id).expect("checked above");
+        e.state = EntryState::Issued;
+        e.result = result;
+        if e.uop.kind == UopKind::Load {
+            e.addr = Some(Addr(result)); // informational; value is `result`
+        }
+        if let Some((addr, value)) = store {
+            e.addr = Some(addr);
+            e.store_value = Some(value);
+            self.unresolved_stores.remove(&id);
+        }
+        self.finish_entry(id, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline
+    // ------------------------------------------------------------------
+
+    /// Advance one cycle. Emits memory-system events into `events`.
+    pub fn tick(&mut self, now: Cycle, events: &mut Vec<CoreEvent>) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        self.stats.cycles = now;
+        if self.full_window_stall().is_some() {
+            self.stats.full_window_stall_cycles += 1;
+        }
+        if self.cfg.runahead && self.runahead.is_none() {
+            if let Some(h) = self.full_window_stall() {
+                self.enter_runahead(h, now);
+            }
+        }
+        self.retire(now, events);
+        self.drain_completions(now);
+        self.issue(now, events);
+        self.dispatch(now);
+        if self.program_done
+            && self.rob.is_empty()
+            && self.finished_at.is_none()
+            && self.runahead.is_none()
+        {
+            self.finished_at = Some(now);
+        }
+    }
+
+    fn retire(&mut self, now: Cycle, events: &mut Vec<CoreEvent>) {
+        for _ in 0..self.cfg.retire_width {
+            let in_runahead = self.runahead.is_some();
+            // Runahead never waits at a miss: an issued-but-incomplete
+            // load at the head pseudo-completes with an INV result.
+            if in_runahead {
+                let pseudo = self
+                    .rob
+                    .front()
+                    .filter(|h| {
+                        h.uop.kind == UopKind::Load
+                            && h.state == EntryState::Issued
+                            && h.mem_pending
+                    })
+                    .map(|h| h.id);
+                if let Some(id) = pseudo {
+                    if let Some(e) = self.entry_mut(id) {
+                        e.inv = true;
+                        e.result = 0;
+                    }
+                    self.finish_entry(id, now);
+                }
+            }
+            let Some(head) = self.rob.front() else { break };
+            if head.state != EntryState::Done {
+                break;
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            if in_runahead {
+                // Pseudo-retirement: advance register state (restored at
+                // exit), never touch memory, count separately.
+                self.stats.runahead_uops += 1;
+                if e.uop.kind == UopKind::Store {
+                    self.store_ids.pop_front();
+                }
+                if let Some(dst) = e.uop.dst {
+                    self.committed[dst.idx()] = e.result;
+                    self.committed_inv[dst.idx()] = e.inv;
+                    if self.rename[dst.idx()] == Some(e.id) {
+                        self.rename[dst.idx()] = None;
+                    }
+                }
+                continue;
+            }
+            self.stats.retired_uops += 1;
+            match e.uop.kind {
+                UopKind::Load => self.stats.retired_loads += 1,
+                UopKind::Store => {
+                    self.stats.retired_stores += 1;
+                    let addr = e.addr.expect("retired store has address");
+                    let value = e.store_value.expect("retired store has data");
+                    self.mem.write_u64(addr, value);
+                    self.store_ids.pop_front();
+                    events.push(CoreEvent::StoreRetired { addr });
+                }
+                UopKind::Branch(_) => self.stats.retired_branches += 1,
+                _ => {}
+            }
+            if let Some(dst) = e.uop.dst {
+                self.committed[dst.idx()] = e.result;
+                self.committed_inv[dst.idx()] = false;
+                if self.rename[dst.idx()] == Some(e.id) {
+                    self.rename[dst.idx()] = None;
+                }
+            }
+            let _ = now;
+        }
+    }
+
+    fn drain_completions(&mut self, now: Cycle) {
+        while let Some(&std::cmp::Reverse((t, id))) = self.completing.peek() {
+            if t > now {
+                break;
+            }
+            self.completing.pop();
+            // Entry may have been flushed; finish_entry checks state.
+            if self
+                .entry(id)
+                .is_some_and(|e| e.state == EntryState::Issued && e.uop.kind != UopKind::Load)
+            {
+                self.finish_entry(id, now);
+            }
+        }
+    }
+
+    /// Transition an Issued entry to Done and wake its consumers.
+    fn finish_entry(&mut self, id: RobId, _now: Cycle) {
+        let (result, taint, depth, inv, waiters) = {
+            let Some(e) = self.entry_mut(id) else { return };
+            debug_assert_eq!(e.state, EntryState::Issued);
+            e.state = EntryState::Done;
+            match e.uop.kind {
+                UopKind::Load => {
+                    e.tainted = e.llc_miss;
+                    e.chain_depth = 0;
+                    // e.inv stays as set (runahead INV loads).
+                }
+                UopKind::Store | UopKind::Branch(_) => {
+                    e.tainted = false;
+                    e.chain_depth = 0;
+                }
+                _ => {
+                    // ALU: taint/depth were computed at issue.
+                }
+            }
+            (e.result, e.tainted, e.chain_depth, e.inv, std::mem::take(&mut e.waiters))
+        };
+        let now = _now;
+        for (consumer, slot) in waiters {
+            let mut now_ready = false;
+            let mut store_data_arrived = false;
+            if let Some(c) = self.entry_mut(consumer) {
+                let s = &mut c.srcs[slot as usize];
+                if s.producer == Some(id) && s.value.is_none() {
+                    s.value = Some(result);
+                    s.taint = taint;
+                    s.depth = depth;
+                    s.inv = inv;
+                    if c.state == EntryState::Waiting && !c.remote {
+                        now_ready = if c.uop.kind == UopKind::Store {
+                            c.srcs[0].ready()
+                        } else {
+                            c.srcs.iter().all(|s| s.ready())
+                        };
+                    } else if c.uop.kind == UopKind::Store
+                        && c.state == EntryState::Issued
+                        && slot == 1
+                        && c.store_value.is_none()
+                    {
+                        // Split store: address already resolved, data
+                        // just arrived.
+                        c.store_value = Some(result);
+                        store_data_arrived = true;
+                    }
+                }
+            }
+            if now_ready {
+                self.ready.insert(consumer);
+            }
+            if store_data_arrived {
+                self.completing.push(std::cmp::Reverse((now + 1, consumer)));
+            }
+        }
+    }
+
+    fn issue(&mut self, now: Cycle, events: &mut Vec<CoreEvent>) {
+        let mut issued = 0;
+        let mut skipped: Vec<RobId> = Vec::new();
+        while issued < self.cfg.issue_width {
+            let Some(&id) = self.ready.iter().next() else { break };
+            self.ready.remove(&id);
+            let Some(e) = self.entry(id) else { continue };
+            debug_assert_eq!(e.state, EntryState::Waiting);
+            let kind = e.uop.kind;
+            if kind == UopKind::Load {
+                // Memory ordering: wait for all older stores' addresses.
+                if self.unresolved_stores.range(..id).next().is_some() {
+                    skipped.push(id);
+                    continue;
+                }
+            }
+            issued += 1;
+            self.waiting_count -= 1;
+            match kind {
+                UopKind::Load => self.issue_load(id, now, events),
+                UopKind::Store => self.issue_store(id, now),
+                UopKind::Branch(_) => self.issue_branch(id, now),
+                _ => self.issue_alu(id, now),
+            }
+        }
+        // Blocked loads stay ready for next cycle.
+        for id in skipped {
+            self.ready.insert(id);
+        }
+    }
+
+    fn issue_alu(&mut self, id: RobId, now: Cycle) {
+        let e = self.entry_mut(id).expect("issuing entry exists");
+        e.state = EntryState::Issued;
+        let a = e.srcs[0].value.expect("ready");
+        let b = e.srcs[1].value.expect("ready");
+        let (ra, rb) = resolve_operands(&e.uop, a, b);
+        e.result = e.uop.kind.alu(ra, rb);
+        e.tainted = e.srcs.iter().any(|s| s.taint);
+        e.inv = e.srcs.iter().any(|s| s.inv);
+        e.chain_depth = e
+            .srcs
+            .iter()
+            .filter(|s| s.taint)
+            .map(|s| s.depth)
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
+        let done = now + e.uop.kind.exec_latency();
+        self.completing.push(std::cmp::Reverse((done, id)));
+    }
+
+    fn issue_store(&mut self, id: RobId, now: Cycle) {
+        let data_ready = {
+            let e = self.entry_mut(id).expect("issuing entry exists");
+            e.state = EntryState::Issued;
+            let base = e.srcs[0].value.expect("address operand ready");
+            let addr = e.uop.effective_address(base);
+            e.addr = Some(addr);
+            e.inv = e.srcs.iter().any(|s| s.inv);
+            if let Some(v) = e.srcs[1].value {
+                e.store_value = Some(v);
+                true
+            } else {
+                false
+            }
+        };
+        // The address is resolved: younger loads may now disambiguate.
+        self.unresolved_stores.remove(&id);
+        if data_ready {
+            self.completing.push(std::cmp::Reverse((now + 1, id)));
+        }
+        // Otherwise the store completes when its data operand arrives
+        // (see finish_entry's wakeup path).
+    }
+
+    fn issue_branch(&mut self, id: RobId, now: Cycle) {
+        let (taken, predicted, bp, pc, target, next_idx) = {
+            let e = self.entry_mut(id).expect("issuing entry exists");
+            e.state = EntryState::Issued;
+            let v = e.srcs[0].value.expect("ready");
+            let cond = match e.uop.kind {
+                UopKind::Branch(c) => c,
+                _ => unreachable!("issue_branch on non-branch"),
+            };
+            let taken = if e.srcs[0].inv {
+                // Runahead: a branch on an INV value cannot be resolved;
+                // follow the prediction.
+                e.predicted_taken
+            } else {
+                StaticUop::branch_taken(cond, v)
+            };
+            e.result = u64::from(taken);
+            (
+                taken,
+                e.predicted_taken,
+                e.bp.expect("branch has checkpoint"),
+                e.pc,
+                e.uop.target.expect("branch has target") as usize,
+                e.prog_idx + 1,
+            )
+        };
+        self.bpred.resolve(pc, bp, taken);
+        if taken != predicted {
+            self.stats.branch_mispredicts += 1;
+            self.flush_younger_than(id);
+            self.fetch_idx = if taken { target } else { next_idx };
+            self.program_done = false;
+            self.fetch_resume_at = now + self.cfg.mispredict_penalty;
+        }
+        self.completing.push(std::cmp::Reverse((now + 1, id)));
+    }
+
+    fn issue_load(&mut self, id: RobId, now: Cycle, events: &mut Vec<CoreEvent>) {
+        // Store-to-load forwarding: youngest older store to the same
+        // address wins.
+        let (addr, pc) = {
+            let e = self.entry(id).expect("issuing entry exists");
+            let base = e.srcs[0].value.expect("ready");
+            (e.uop.effective_address(base), e.pc)
+        };
+        let mut forwarded: Option<u64> = None;
+        for &sid in self.store_ids.iter().rev() {
+            if sid >= id {
+                continue;
+            }
+            if let Some(s) = self.entry(sid) {
+                if s.addr == Some(addr) {
+                    match s.store_value {
+                        Some(v) => forwarded = Some(v),
+                        None => {
+                            // Matching older store whose data is not yet
+                            // known: the load must wait.
+                            self.ready.insert(id);
+                            let e = self.entry_mut(id).expect("exists");
+                            e.state = EntryState::Waiting;
+                            self.waiting_count += 1;
+                            return;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        // Runahead: a load whose address descends from the INV miss has
+        // no meaningful address — drop it (no memory request).
+        if self.entry(id).is_some_and(|e| e.srcs[0].inv) {
+            let e = self.entry_mut(id).expect("exists");
+            e.state = EntryState::Issued;
+            e.addr = Some(addr);
+            e.inv = true;
+            e.result = 0;
+            self.finish_entry(id, now);
+            return;
+        }
+        let mem_value = self.mem.read_u64(addr);
+        let e = self.entry_mut(id).expect("issuing entry exists");
+        e.state = EntryState::Issued;
+        e.addr = Some(addr);
+        match forwarded {
+            Some(v) => {
+                e.result = v;
+                e.forwarded = true;
+                self.finish_forwarded(id, now);
+            }
+            None => {
+                e.result = mem_value;
+                e.mem_pending = true;
+                self.mem_inflight += 1;
+                if self.runahead.is_some() {
+                    self.stats.runahead_requests += 1;
+                }
+                events.push(CoreEvent::LoadIssued { rob: id, addr, pc });
+            }
+        }
+    }
+
+    /// Forwarded loads complete within the issue cycle (LSQ bypass).
+    fn finish_forwarded(&mut self, id: RobId, now: Cycle) {
+        self.finish_entry(id, now);
+    }
+
+    fn flush_younger_than(&mut self, id: RobId) {
+        while let Some(back) = self.rob.back() {
+            if back.id <= id {
+                break;
+            }
+            let e = self.rob.pop_back().expect("back exists");
+            self.ready.remove(&e.id);
+            self.unresolved_stores.remove(&e.id);
+            if e.uop.kind == UopKind::Store
+                && self.store_ids.back() == Some(&e.id) {
+                    self.store_ids.pop_back();
+                }
+            if e.state == EntryState::Waiting {
+                self.waiting_count -= 1;
+            }
+            if e.mem_pending {
+                self.mem_inflight = self.mem_inflight.saturating_sub(1);
+            }
+        }
+        // Rebuild the rename table from the surviving window.
+        self.rename = [None; NUM_ARCH_REGS];
+        let ids: Vec<(RobId, Option<Reg>)> =
+            self.rob.iter().map(|e| (e.id, e.uop.dst)).collect();
+        for (eid, dst) in ids {
+            if let Some(d) = dst {
+                self.rename[d.idx()] = Some(eid);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle) {
+        if now < self.fetch_resume_at || self.program_done {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_idx >= self.program.uops.len() {
+                self.program_done = true;
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries
+                || self.waiting_count >= self.cfg.rs_entries
+            {
+                break;
+            }
+            let uop = self.program.uops[self.fetch_idx];
+            if uop.kind.is_mem() && self.mem_ops_in_rob() >= self.cfg.lsq_entries {
+                break;
+            }
+            let prog_idx = self.fetch_idx;
+            let pc = self.program.pc_of(prog_idx);
+            let id = self.next_id;
+            self.next_id += 1;
+
+            // Branch prediction steers fetch.
+            let (bp, predicted_taken) = if uop.kind.is_branch() {
+                let info = self.bpred.predict(pc);
+                let taken = match uop.kind {
+                    UopKind::Branch(emc_types::BranchCond::Always) => true,
+                    _ => info.taken,
+                };
+                self.fetch_idx = if taken {
+                    uop.target.expect("branch has target") as usize
+                } else {
+                    prog_idx + 1
+                };
+                (Some(info), taken)
+            } else {
+                self.fetch_idx = prog_idx + 1;
+                (None, false)
+            };
+
+            // Rename: capture operands.
+            let mut srcs = [SrcOp::absent(), SrcOp::absent()];
+            let mut waits: Vec<(RobId, u8)> = Vec::new();
+            for (i, src) in uop.srcs.iter().enumerate() {
+                let Some(r) = src else { continue };
+                match self.rename[r.idx()] {
+                    None => {
+                        srcs[i] = SrcOp {
+                            value: Some(self.committed[r.idx()]),
+                            producer: None,
+                            taint: false,
+                            depth: 0,
+                            inv: self.committed_inv[r.idx()],
+                        };
+                    }
+                    Some(pid) => {
+                        let p = self.entry(pid).expect("renamed producer in ROB");
+                        if p.state == EntryState::Done {
+                            srcs[i] = SrcOp {
+                                value: Some(p.result),
+                                producer: Some(pid),
+                                taint: p.tainted,
+                                depth: p.chain_depth,
+                                inv: p.inv,
+                            };
+                        } else {
+                            srcs[i] = SrcOp {
+                                value: None,
+                                producer: Some(pid),
+                                taint: false,
+                                depth: 0,
+                                inv: false,
+                            };
+                            waits.push((pid, i as u8));
+                        }
+                    }
+                }
+            }
+            for (pid, slot) in waits {
+                if let Some(p) = self.entry_mut(pid) {
+                    p.waiters.push((id, slot));
+                }
+            }
+            if let Some(d) = uop.dst {
+                self.rename[d.idx()] = Some(id);
+            }
+            let is_store = uop.kind == UopKind::Store;
+            let entry = RobEntry {
+                id,
+                prog_idx,
+                uop,
+                pc,
+                state: EntryState::Waiting,
+                srcs,
+                result: 0,
+                addr: None,
+                store_value: None,
+                remote: false,
+                llc_miss: false,
+                tainted: false,
+                chain_depth: 0,
+                waiters: Vec::new(),
+                bp,
+                predicted_taken,
+                forwarded: false,
+                mem_pending: false,
+                inv: false,
+            };
+            let all_ready = if entry.uop.kind == UopKind::Store {
+                // Stores issue (resolve their address) as soon as the
+                // address operand is ready; data may arrive later
+                // (split store-address / store-data uops).
+                entry.srcs[0].ready()
+            } else {
+                entry.srcs.iter().all(|s| s.ready())
+            };
+            self.rob.push_back(entry);
+            self.waiting_count += 1;
+            if is_store {
+                self.store_ids.push_back(id);
+                self.unresolved_stores.insert(id);
+            }
+            if all_ready {
+                self.ready.insert(id);
+            }
+        }
+    }
+
+    fn mem_ops_in_rob(&self) -> usize {
+        self.mem_inflight + self.store_ids.len()
+    }
+}
+
+/// Resolve ALU operand selection (Mov immediate special case) given the
+/// two captured source values.
+fn resolve_operands(uop: &StaticUop, a: u64, b: u64) -> (u64, u64) {
+    match uop.kind {
+        UopKind::Mov => {
+            if uop.srcs[0].is_some() {
+                (a, 0)
+            } else {
+                (uop.imm, 0)
+            }
+        }
+        UopKind::Not | UopKind::SignExtend => (a, 0),
+        _ => {
+            if uop.srcs[1].is_some() {
+                (a, b)
+            } else {
+                (a, uop.imm)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_types::program::{run_reference, Program};
+    use emc_types::BranchCond;
+
+    /// Drive a core to completion with a fixed memory latency, answering
+    /// loads after `mem_lat` cycles.
+    fn run_core(program: Program, mem: MemoryImage, mem_lat: u64, max_cycles: u64) -> Core {
+        let mut core = Core::new(&CoreConfig::default(), Arc::new(program), mem);
+        let mut events = Vec::new();
+        let mut pending: Vec<(Cycle, RobId)> = Vec::new();
+        for now in 0..max_cycles {
+            core.tick(now, &mut events);
+            for ev in events.drain(..) {
+                if let CoreEvent::LoadIssued { rob, .. } = ev {
+                    pending.push((now + mem_lat, rob));
+                }
+            }
+            pending.retain(|&(t, rob)| {
+                if t <= now {
+                    core.complete_load(rob, now);
+                    false
+                } else {
+                    true
+                }
+            });
+            if core.finished_at().is_some() {
+                break;
+            }
+        }
+        core
+    }
+
+    fn check_against_reference(program: Program, mem: MemoryImage, mem_lat: u64) -> Core {
+        let mut ref_mem = mem.clone();
+        let expect = run_reference(&program, &mut ref_mem, 10_000_000);
+        assert!(!expect.capped);
+        let core = run_core(program, mem, mem_lat, 10_000_000);
+        assert!(core.finished_at().is_some(), "core did not finish");
+        assert_eq!(core.committed_regs(), &expect.regs, "architectural mismatch");
+        core
+    }
+
+    #[test]
+    fn straight_line_alu() {
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 7),
+                StaticUop::alu(UopKind::IntAdd, Reg(1), Reg(0), None, 35),
+                StaticUop::alu(UopKind::Shl, Reg(2), Reg(1), None, 1),
+            ],
+            0x1000,
+        );
+        let core = check_against_reference(p, MemoryImage::new(), 10);
+        assert_eq!(core.committed_regs()[2], 84);
+        assert_eq!(core.stats.retired_uops, 3);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 0x2000),
+                StaticUop::mov_imm(Reg(1), 99),
+                StaticUop::store(Reg(0), Reg(1), 0),
+                StaticUop::load(Reg(2), Reg(0), 0),
+                StaticUop::alu(UopKind::IntAdd, Reg(3), Reg(2), None, 1),
+            ],
+            0x1000,
+        );
+        let core = check_against_reference(p, MemoryImage::new(), 50);
+        assert_eq!(core.committed_regs()[3], 100);
+        assert_eq!(core.stats.retired_stores, 1);
+        assert_eq!(core.stats.retired_loads, 1);
+        assert_eq!(core.mem.read_u64(Addr(0x2000)), 99);
+    }
+
+    #[test]
+    fn store_forwarding_supplies_value() {
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 0x3000),
+                StaticUop::mov_imm(Reg(1), 42),
+                StaticUop::store(Reg(0), Reg(1), 8),
+                StaticUop::load(Reg(2), Reg(0), 8),
+            ],
+            0,
+        );
+        // Forwarded loads never go to memory: finish even with absurd
+        // memory latency.
+        let core = run_core(p, MemoryImage::new(), 1_000_000, 100_000);
+        assert!(core.finished_at().is_some());
+        assert_eq!(core.committed_regs()[2], 42);
+    }
+
+    #[test]
+    fn loop_with_predictable_branch() {
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 100),
+                StaticUop::alu(UopKind::IntSub, Reg(0), Reg(0), None, 1),
+                StaticUop::alu(UopKind::IntAdd, Reg(1), Reg(1), None, 2),
+                StaticUop::branch(BranchCond::NotZero, Some(Reg(0)), 1),
+            ],
+            0x4000,
+        );
+        let core = check_against_reference(p, MemoryImage::new(), 10);
+        assert_eq!(core.committed_regs()[1], 200);
+        assert!(
+            core.stats.branch_mispredicts <= 5,
+            "loop branch should be learned: {} mispredicts",
+            core.stats.branch_mispredicts
+        );
+    }
+
+    #[test]
+    fn pointer_chase_matches_reference() {
+        let mut mem = MemoryImage::new();
+        // A 4-node cycle.
+        let nodes = [0x1000u64, 0x5000, 0x9000, 0xd000];
+        for i in 0..4 {
+            mem.write_u64(Addr(nodes[i]), nodes[(i + 1) % 4]);
+            mem.write_u64(Addr(nodes[i] + 8), 0x1_0000 + i as u64 * 64);
+        }
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 0x1000),
+                StaticUop::mov_imm(Reg(15), 12),
+                // loop:
+                StaticUop::load(Reg(1), Reg(0), 0),
+                StaticUop::load(Reg(2), Reg(0), 8),
+                StaticUop::alu(UopKind::IntAdd, Reg(3), Reg(2), None, 0x18),
+                StaticUop::load(Reg(4), Reg(3), 0),
+                StaticUop::mov(Reg(0), Reg(1)),
+                StaticUop::alu(UopKind::IntSub, Reg(15), Reg(15), None, 1),
+                StaticUop::branch(BranchCond::NotZero, Some(Reg(15)), 2),
+            ],
+            0x8000,
+        );
+        let core = check_against_reference(p, mem, 200);
+        assert_eq!(core.committed_regs()[0], 0x1000, "12 steps returns to start");
+    }
+
+    #[test]
+    fn wrong_path_execution_is_squashed() {
+        // Branch on a loaded value: predicted not-taken path writes r2;
+        // actual taken path skips it. Final r2 must be 0.
+        let mut mem = MemoryImage::new();
+        mem.write_u64(Addr(0x100), 0); // brz taken
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 0x100),
+                StaticUop::load(Reg(1), Reg(0), 0),
+                StaticUop::branch(BranchCond::Zero, Some(Reg(1)), 4),
+                StaticUop::alu(UopKind::IntAdd, Reg(2), Reg(2), None, 77),
+                StaticUop::alu(UopKind::IntAdd, Reg(3), Reg(3), None, 1),
+            ],
+            0x2000,
+        );
+        let core = check_against_reference(p, mem.clone(), 100);
+        assert_eq!(core.committed_regs()[2], 0, "wrong-path write must squash");
+        assert_eq!(core.committed_regs()[3], 1);
+    }
+
+    #[test]
+    fn full_window_stall_detected_on_miss_at_head() {
+        // A load at the head with a huge latency plus enough filler to
+        // fill the 256-entry ROB.
+        let mut uops = vec![
+            StaticUop::mov_imm(Reg(0), 0x100),
+            StaticUop::load(Reg(1), Reg(0), 0),
+        ];
+        for _ in 0..300 {
+            uops.push(StaticUop::alu(UopKind::IntAdd, Reg(2), Reg(2), None, 1));
+        }
+        let p = Program::new(uops, 0);
+        let mut core = Core::new(&CoreConfig::default(), Arc::new(p), MemoryImage::new());
+        let mut events = Vec::new();
+        let mut load_id = None;
+        for now in 0..2000 {
+            core.tick(now, &mut events);
+            for ev in events.drain(..) {
+                if let CoreEvent::LoadIssued { rob, .. } = ev {
+                    load_id = Some(rob);
+                    core.mark_llc_miss(rob);
+                }
+            }
+        }
+        assert!(core.rob_full());
+        assert_eq!(core.full_window_stall(), load_id);
+        assert!(core.stats.full_window_stall_cycles > 0);
+        // Resolving the load releases the stall.
+        core.complete_load(load_id.unwrap(), 2000);
+        let mut events = Vec::new();
+        core.tick(2001, &mut events);
+        assert!(core.full_window_stall().is_none());
+    }
+
+    #[test]
+    fn dependent_miss_tracking() {
+        // ld r1 <- [r0]; add r2 = r1 + 8; ld r3 <- [r2]: if both loads
+        // miss, the second is a dependent miss at depth 1.
+        let mut mem = MemoryImage::new();
+        mem.write_u64(Addr(0x100), 0x4000);
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 0x100),
+                StaticUop::load(Reg(1), Reg(0), 0),
+                StaticUop::alu(UopKind::IntAdd, Reg(2), Reg(1), None, 8),
+                StaticUop::load(Reg(3), Reg(2), 0),
+            ],
+            0,
+        );
+        let mut core = Core::new(&CoreConfig::default(), Arc::new(p), mem);
+        let mut events = Vec::new();
+        let mut pending: Vec<(Cycle, RobId)> = Vec::new();
+        for now in 0..5000 {
+            core.tick(now, &mut events);
+            for ev in events.drain(..) {
+                if let CoreEvent::LoadIssued { rob, .. } = ev {
+                    core.mark_llc_miss(rob); // everything misses
+                    pending.push((now + 200, rob));
+                }
+            }
+            pending.retain(|&(t, rob)| {
+                if t <= now {
+                    core.complete_load(rob, now);
+                    false
+                } else {
+                    true
+                }
+            });
+            if core.finished_at().is_some() {
+                break;
+            }
+        }
+        assert!(core.finished_at().is_some());
+        assert_eq!(core.stats.dependent_llc_misses, 1);
+        assert_eq!(core.stats.dep_chain_uop_sum, 1, "one ALU op (the ADD) between the loads");
+    }
+
+    #[test]
+    fn remote_execution_completes_chain() {
+        // The dependent chain executes "at the EMC": mark entries remote,
+        // then complete them with the correct values.
+        let mut mem = MemoryImage::new();
+        mem.write_u64(Addr(0x100), 0x4000);
+        mem.write_u64(Addr(0x4008), 1234);
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 0x100),
+                StaticUop::load(Reg(1), Reg(0), 0),
+                StaticUop::alu(UopKind::IntAdd, Reg(2), Reg(1), None, 8),
+                StaticUop::load(Reg(3), Reg(2), 0),
+            ],
+            0,
+        );
+        let mut core = Core::new(&CoreConfig::default(), Arc::new(p), mem);
+        let mut events = Vec::new();
+        let mut source = None;
+        for now in 0..10 {
+            core.tick(now, &mut events);
+            for ev in events.drain(..) {
+                if let CoreEvent::LoadIssued { rob, .. } = ev {
+                    source = Some(rob);
+                    core.mark_llc_miss(rob);
+                }
+            }
+        }
+        let src = source.expect("source load issued");
+        // Entries 2 (ADD) and 3 (dependent load) go remote.
+        core.mark_remote(&[src + 1, src + 2]);
+        // Source data arrives; EMC executes the chain and returns values.
+        core.complete_load(src, 10);
+        core.complete_remote(src + 1, 0x4008, None, 11);
+        core.complete_remote(src + 2, 1234, None, 12);
+        let mut events = Vec::new();
+        for now in 13..30 {
+            core.tick(now, &mut events);
+        }
+        assert!(core.finished_at().is_some());
+        assert_eq!(core.committed_regs()[3], 1234);
+    }
+
+    #[test]
+    fn remote_abort_falls_back_to_local_execution() {
+        let mut mem = MemoryImage::new();
+        mem.write_u64(Addr(0x100), 0x4000);
+        mem.write_u64(Addr(0x4008), 777);
+        let p = Program::new(
+            vec![
+                StaticUop::mov_imm(Reg(0), 0x100),
+                StaticUop::load(Reg(1), Reg(0), 0),
+                StaticUop::alu(UopKind::IntAdd, Reg(2), Reg(1), None, 8),
+                StaticUop::load(Reg(3), Reg(2), 0),
+            ],
+            0,
+        );
+        let mut core = Core::new(&CoreConfig::default(), Arc::new(p), mem);
+        let mut events = Vec::new();
+        let mut pending: Vec<(Cycle, RobId)> = Vec::new();
+        let mut source = None;
+        let mut marked = false;
+        for now in 0..5000 {
+            core.tick(now, &mut events);
+            for ev in events.drain(..) {
+                if let CoreEvent::LoadIssued { rob, .. } = ev {
+                    if source.is_none() {
+                        source = Some(rob);
+                        core.mark_remote(&[rob + 1, rob + 2]);
+                        marked = true;
+                    }
+                    pending.push((now + 100, rob));
+                }
+            }
+            if marked && now == 300 {
+                // EMC aborts (e.g. TLB miss): chain re-executes locally.
+                let s = source.unwrap();
+                core.unmark_remote(&[s + 1, s + 2]);
+            }
+            pending.retain(|&(t, rob)| {
+                if t <= now {
+                    core.complete_load(rob, now);
+                    false
+                } else {
+                    true
+                }
+            });
+            if core.finished_at().is_some() {
+                break;
+            }
+        }
+        assert!(core.finished_at().is_some());
+        assert_eq!(core.committed_regs()[3], 777);
+    }
+
+    #[test]
+    fn rs_capacity_limits_window() {
+        // With a 4-entry RS, no more than 4 unissued uops may be in
+        // flight even though the ROB is large.
+        let cfg = CoreConfig { rs_entries: 4, ..CoreConfig::default() };
+        // A long chain of dependent adds behind a slow load keeps
+        // everything unissued.
+        let mut uops = vec![
+            StaticUop::mov_imm(Reg(0), 0x100),
+            StaticUop::load(Reg(1), Reg(0), 0),
+        ];
+        for _ in 0..50 {
+            uops.push(StaticUop::alu(UopKind::IntAdd, Reg(1), Reg(1), None, 1));
+        }
+        let p = Program::new(uops, 0);
+        let mut core = Core::new(&cfg, Arc::new(p), MemoryImage::new());
+        let mut events = Vec::new();
+        for now in 0..100 {
+            core.tick(now, &mut events);
+            events.clear();
+        }
+        assert!(core.rob_len() <= 4 + 2, "RS limit must throttle dispatch");
+    }
+}

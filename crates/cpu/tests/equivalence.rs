@@ -1,0 +1,164 @@
+//! Architectural-state equivalence: the out-of-order core (with wrong-path
+//! speculation, store forwarding, flushes and variable memory latency)
+//! must compute exactly what the sequential reference interpreter
+//! computes.
+
+use emc_cpu::{Core, CoreEvent};
+use emc_types::program::{run_reference, Program, StaticUop};
+use emc_types::{BranchCond, CoreConfig, MemoryImage, Reg, UopKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run the core to completion with a deterministic pseudo-random memory
+/// latency schedule derived from `lat_seed`.
+fn run_core(
+    program: &Program,
+    mem: &MemoryImage,
+    lat_seed: u64,
+    max_cycles: u64,
+) -> Option<Core> {
+    let mut core = Core::new(&CoreConfig::default(), Arc::new(program.clone()), mem.clone());
+    let mut events = Vec::new();
+    let mut pending: Vec<(u64, u64)> = Vec::new();
+    let mut state = lat_seed | 1;
+    for now in 0..max_cycles {
+        core.tick(now, &mut events);
+        for ev in events.drain(..) {
+            if let CoreEvent::LoadIssued { rob, .. } = ev {
+                // xorshift latency in [5, 260): misses and hits mixed.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let lat = 5 + (state % 256);
+                // Mark roughly half the loads as LLC misses to exercise
+                // taint tracking.
+                if state & 1 == 0 {
+                    core.mark_llc_miss(rob);
+                }
+                pending.push((now + lat, rob));
+            }
+        }
+        pending.retain(|&(t, rob)| {
+            if t <= now {
+                core.complete_load(rob, now);
+                false
+            } else {
+                true
+            }
+        });
+        if core.finished_at().is_some() {
+            return Some(core);
+        }
+    }
+    None
+}
+
+fn arb_uop(max_target: u32) -> impl Strategy<Value = StaticUop> {
+    let reg = 0u8..16;
+    prop_oneof![
+        // ALU reg-imm
+        (reg.clone(), reg.clone(), 0u64..1024, 0usize..7).prop_map(|(d, a, imm, k)| {
+            let kind = [
+                UopKind::IntAdd,
+                UopKind::IntSub,
+                UopKind::And,
+                UopKind::Or,
+                UopKind::Xor,
+                UopKind::Shl,
+                UopKind::Shr,
+            ][k];
+            StaticUop::alu(kind, Reg(d), Reg(a), None, imm % 64)
+        }),
+        // ALU reg-reg
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| {
+            StaticUop::alu(UopKind::IntAdd, Reg(d), Reg(a), Some(Reg(b)), 0)
+        }),
+        // mov imm
+        (reg.clone(), any::<u64>()).prop_map(|(d, imm)| StaticUop::mov_imm(Reg(d), imm % (1 << 20))),
+        // load (address masked into a small window by construction: the
+        // base register values stay small because immediates are small)
+        (reg.clone(), reg.clone(), 0u64..512).prop_map(|(d, b, off)| {
+            StaticUop::load(Reg(d), Reg(b), off * 8)
+        }),
+        // store
+        (reg.clone(), reg.clone(), 0u64..512).prop_map(|(b, v, off)| {
+            StaticUop::store(Reg(b), Reg(v), off * 8)
+        }),
+        // forward conditional branch
+        (reg.clone(), any::<bool>()).prop_map(move |(r, z)| {
+            StaticUop::branch(
+                if z { BranchCond::Zero } else { BranchCond::NotZero },
+                Some(Reg(r)),
+                max_target,
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random straight-line-with-forward-branches programs: the OoO core
+    /// and the reference interpreter agree on every register and on the
+    /// load/store/uop counts that survive speculation.
+    #[test]
+    fn ooo_matches_reference(
+        mut program_uops in prop::collection::vec(arb_uop(0), 1usize..60),
+        seed in any::<u64>(),
+        lat_seed in any::<u64>(),
+    ) {
+        // Retarget branches to valid strictly-forward targets (guarantees
+        // termination regardless of data values).
+        let len = program_uops.len();
+        let mut s = seed | 1;
+        for (i, u) in program_uops.iter_mut().enumerate() {
+            if u.kind.is_branch() {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                let lo = i as u32 + 1;
+                let hi = len as u32;
+                u.target = Some(lo + (s as u32 % (hi - lo + 1)).min(hi - lo));
+            }
+        }
+        let program = Program::new(program_uops, 0x9000);
+        prop_assume!(program.validate().is_ok());
+
+        let mem = MemoryImage::new();
+        let mut ref_mem = mem.clone();
+        let expect = run_reference(&program, &mut ref_mem, 1_000_000);
+        prop_assert!(!expect.capped);
+
+        let core = run_core(&program, &mem, lat_seed, 2_000_000).expect("core finished");
+        prop_assert_eq!(core.committed_regs(), &expect.regs);
+        prop_assert_eq!(core.stats.retired_uops, expect.dyn_uops);
+        prop_assert_eq!(core.stats.retired_loads, expect.loads);
+        prop_assert_eq!(core.stats.retired_stores, expect.stores);
+    }
+}
+
+#[test]
+fn workload_programs_match_reference() {
+    use emc_workloads::{build, Benchmark};
+    for bench in [
+        Benchmark::Mcf,
+        Benchmark::Libquantum,
+        Benchmark::Omnetpp,
+        Benchmark::Lbm,
+        Benchmark::Gcc,
+        Benchmark::Povray,
+    ] {
+        let w = build(bench, 42, 40);
+        let mut ref_mem = w.memory.clone();
+        let expect = run_reference(&w.program, &mut ref_mem, 10_000_000);
+        assert!(!expect.capped, "{bench}");
+        let core = run_core(&w.program, &w.memory, 0xabcd, 20_000_000)
+            .unwrap_or_else(|| panic!("{bench}: core did not finish"));
+        assert_eq!(core.committed_regs(), &expect.regs, "{bench} register mismatch");
+        assert_eq!(core.stats.retired_uops, expect.dyn_uops, "{bench} uop count");
+        // Memory effects must match too: compare the pages the reference
+        // run touched.
+        for page in 0..16u64 {
+            let a = emc_types::Addr(emc_workloads::SPILL_BASE + page * 8);
+            assert_eq!(core.mem.read_u64(a), ref_mem.read_u64(a), "{bench} mem at {a}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Physical address → DRAM location mapping.
+//!
+//! Cache lines interleave across channels at line granularity (maximizing
+//! channel-level parallelism, as in the paper's Haswell-like design), then
+//! fill a row's worth of columns within one bank before moving to the next
+//! bank, so sequential streams see row-buffer hits within each channel.
+
+use emc_types::{DramConfig, LineAddr, CACHE_LINE_BYTES};
+
+/// A fully decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+/// Map a cache-line address to its DRAM location under `cfg`.
+///
+/// Bit layout (from least significant): channel, column, bank, rank, row.
+///
+/// # Example
+///
+/// ```
+/// use emc_dram::map_line;
+/// use emc_types::{DramConfig, LineAddr};
+///
+/// let cfg = DramConfig::default();
+/// let a = map_line(LineAddr(0), &cfg);
+/// let b = map_line(LineAddr(1), &cfg);
+/// // Adjacent lines alternate channels.
+/// assert_ne!(a.channel, b.channel);
+/// ```
+pub fn map_line(line: LineAddr, cfg: &DramConfig) -> Location {
+    let channels = cfg.channels.max(1) as u64;
+    let channel = (line.0 % channels) as usize;
+    let within = line.0 / channels;
+    let lines_per_row = cfg.row_bytes / CACHE_LINE_BYTES;
+    let col_stripped = within / lines_per_row;
+    let bank = (col_stripped % cfg.banks_per_rank as u64) as usize;
+    let rank_stripped = col_stripped / cfg.banks_per_rank as u64;
+    let rank = (rank_stripped % cfg.ranks_per_channel.max(1) as u64) as usize;
+    let row = rank_stripped / cfg.ranks_per_channel.max(1) as u64;
+    Location { channel, rank, bank, row }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_lines_share_row_within_channel() {
+        let cfg = DramConfig::default();
+        // Lines 0 and 2 are both on channel 0; 8 KB row = 128 lines, so
+        // the first 128 channel-0 lines (global lines 0,2,..,254) share a
+        // row and bank.
+        let a = map_line(LineAddr(0), &cfg);
+        let b = map_line(LineAddr(2), &cfg);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+    }
+
+    #[test]
+    fn rows_advance_after_bank_sweep() {
+        let cfg = DramConfig::default();
+        let lines_per_row = cfg.row_bytes / CACHE_LINE_BYTES; // 128
+        let chans = cfg.channels as u64;
+        // First line of bank 1 on channel 0.
+        let l = LineAddr(lines_per_row * chans);
+        let m = map_line(l, &cfg);
+        assert_eq!(m.channel, 0);
+        assert_eq!(m.bank, 1);
+        assert_eq!(m.row, 0);
+        // After sweeping all 8 banks, the row increments (1 rank).
+        let l2 = LineAddr(lines_per_row * chans * cfg.banks_per_rank as u64);
+        let m2 = map_line(l2, &cfg);
+        assert_eq!(m2.bank, 0);
+        assert_eq!(m2.row, 1);
+    }
+
+    #[test]
+    fn ranks_decoded_before_rows() {
+        let cfg = DramConfig { ranks_per_channel: 4, ..Default::default() };
+        let lines_per_row = cfg.row_bytes / CACHE_LINE_BYTES;
+        let chans = cfg.channels as u64;
+        let per_rank = lines_per_row * chans * cfg.banks_per_rank as u64;
+        let m = map_line(LineAddr(per_rank), &cfg);
+        assert_eq!(m.rank, 1);
+        assert_eq!(m.row, 0);
+        let m = map_line(LineAddr(per_rank * 4), &cfg);
+        assert_eq!(m.rank, 0);
+        assert_eq!(m.row, 1);
+    }
+
+    #[test]
+    fn mapping_is_injective_over_a_window() {
+        use std::collections::HashSet;
+        let cfg = DramConfig::default();
+        let mut seen = HashSet::new();
+        for l in 0..100_000u64 {
+            let m = map_line(LineAddr(l), &cfg);
+            assert!(seen.insert((m.channel, m.rank, m.bank, m.row, l / (cfg.channels as u64) % (cfg.row_bytes / CACHE_LINE_BYTES))),
+                "collision at line {l}");
+        }
+    }
+
+    #[test]
+    fn single_channel_mapping() {
+        let cfg = DramConfig { channels: 1, ..Default::default() };
+        for l in 0..1000u64 {
+            assert_eq!(map_line(LineAddr(l), &cfg).channel, 0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests: DRAM protocol legality under random command
+//! streams.
+
+use emc_dram::{map_line, Channel, Location, RowOutcome};
+use emc_types::{DramConfig, LineAddr};
+use proptest::prelude::*;
+
+fn arb_loc(cfg: DramConfig) -> impl Strategy<Value = Location> {
+    (0..cfg.ranks_per_channel, 0..cfg.banks_per_rank, 0..64u64).prop_map(move |(rank, bank, row)| {
+        Location { channel: 0, rank, bank, row }
+    })
+}
+
+proptest! {
+    /// Data return times are causal and the data bus never double-books:
+    /// burst windows across all commands are disjoint.
+    #[test]
+    fn bus_never_double_booked(cmds in prop::collection::vec((arb_loc(DramConfig::default()), 0u64..2000), 1..200)) {
+        let cfg = DramConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut now = 0u64;
+        #[allow(clippy::type_complexity)]
+        let mut bursts: Vec<(u64, u64)> = Vec::new();
+        for (loc, gap) in cmds {
+            now += gap;
+            let issue = ch.issue(loc, false, now);
+            // Causality: data cannot return before the minimum service time.
+            prop_assert!(issue.data_at >= now + cfg.t_cas + cfg.t_burst);
+            bursts.push((issue.data_at - cfg.t_burst, issue.data_at));
+        }
+        bursts.sort();
+        for w in bursts.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "burst overlap: {:?}", w);
+        }
+    }
+
+    /// Issuing the same row twice in a row is never a conflict, and
+    /// issuing a different row to the same bank is never a hit.
+    #[test]
+    fn row_outcome_consistency(rows in prop::collection::vec(0u64..8, 2..100)) {
+        let cfg = DramConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut last: Option<u64> = None;
+        let mut now = 0;
+        for row in rows {
+            let loc = Location { channel: 0, rank: 0, bank: 0, row };
+            let i = ch.issue(loc, false, now);
+            match last {
+                None => prop_assert_eq!(i.outcome, RowOutcome::Empty),
+                Some(r) if r == row => prop_assert_eq!(i.outcome, RowOutcome::Hit),
+                Some(_) => prop_assert_eq!(i.outcome, RowOutcome::Conflict),
+            }
+            last = Some(row);
+            now = i.data_at;
+        }
+    }
+
+    /// The address mapping is a bijection between line addresses and
+    /// (channel, location, column) tuples over any window.
+    #[test]
+    fn mapping_decodes_within_bounds(line in 0u64..1_000_000_000, ch in 1usize..=4, ranks in 1usize..=4) {
+        let cfg = DramConfig { channels: ch, ranks_per_channel: ranks, ..Default::default() };
+        let m = map_line(LineAddr(line), &cfg);
+        prop_assert!(m.channel < cfg.channels);
+        prop_assert!(m.rank < cfg.ranks_per_channel);
+        prop_assert!(m.bank < cfg.banks_per_rank);
+    }
+
+    /// Monotonic issue times yield monotonically reasonable completions:
+    /// a later-issued command to an idle bank never completes before an
+    /// earlier command's issue time.
+    #[test]
+    fn completions_are_causal(gaps in prop::collection::vec(0u64..500, 1..100)) {
+        let cfg = DramConfig::default();
+        let mut ch = Channel::new(&cfg);
+        let mut now = 0;
+        for (bank, g) in gaps.into_iter().enumerate() {
+            now += g;
+            let loc = Location { channel: 0, rank: 0, bank: bank % 8, row: 3 };
+            let i = ch.issue(loc, false, now);
+            prop_assert!(i.data_at > now);
+        }
+    }
+}

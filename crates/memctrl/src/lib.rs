@@ -1,0 +1,411 @@
+//! Memory controller with parallelism-aware batch scheduling (PAR-BS).
+//!
+//! Implements the paper's baseline scheduler (Table 1: "Batch Scheduling
+//! \[42\]", Mutlu & Moscibroda, ISCA 2008). Requests are grouped into
+//! batches: when no marked requests remain, the scheduler marks up to
+//! `MARKING_CAP` oldest requests per (core, bank) pair. Marked requests are
+//! serviced before unmarked ones; within a priority class the scheduler is
+//! row-hit-first, then oldest-first (FR-FCFS order), which preserves both
+//! the fairness of batching and the bank-level parallelism the paper's
+//! DRAM contention analysis depends on.
+//!
+//! The controller owns one or more DDR3 [`Channel`]s. The EMC enqueues its
+//! requests directly here — skipping the ring and the LLC — which is
+//! exactly the latency advantage quantified in Figures 18 and 19.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use emc_dram::{map_line, Channel, Location, RowOutcome};
+use emc_types::{AccessKind, Cycle, DramConfig, MemReq, MemStats};
+use std::collections::BinaryHeap;
+
+/// PAR-BS marking cap: maximum marked requests per (core, bank) per batch.
+pub const MARKING_CAP: usize = 5;
+
+/// One queued request together with its decoded DRAM location.
+#[derive(Debug, Clone)]
+struct QueueEntry {
+    req: MemReq,
+    loc: Location,
+    marked: bool,
+    seq: u64,
+}
+
+/// A serviced request, returned by [`MemoryController::tick`] once its
+/// DRAM data burst has completed. The embedded request's timeline carries
+/// `dram_issue`, `dram_done` and `row_hit` stamps.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The serviced request.
+    pub req: MemReq,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    data_at: Cycle,
+    seq: u64,
+    req: MemReq,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.data_at == other.data_at && self.seq == other.seq
+    }
+}
+
+impl Eq for InFlight {}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on completion time (BinaryHeap is a max-heap).
+        other.data_at.cmp(&self.data_at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A (possibly enhanced) memory controller servicing a set of channels.
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: DramConfig,
+    /// Global channel indices owned by this MC.
+    owned_channels: Vec<usize>,
+    channels: Vec<Channel>,
+    queue: Vec<QueueEntry>,
+    in_flight: BinaryHeap<InFlight>,
+    next_seq: u64,
+    queue_entries: usize,
+}
+
+impl MemoryController {
+    /// Create a controller owning the global channels in `owned_channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owned_channels` is empty.
+    pub fn new(cfg: &DramConfig, owned_channels: Vec<usize>) -> Self {
+        assert!(!owned_channels.is_empty(), "an MC must own at least one channel");
+        let channels = owned_channels.iter().map(|_| Channel::new(cfg)).collect();
+        MemoryController {
+            cfg: *cfg,
+            owned_channels,
+            channels,
+            queue: Vec::new(),
+            in_flight: BinaryHeap::new(),
+            next_seq: 0,
+            queue_entries: cfg.queue_entries,
+        }
+    }
+
+    /// Whether this MC services the given global channel index.
+    pub fn owns_channel(&self, ch: usize) -> bool {
+        self.owned_channels.contains(&ch)
+    }
+
+    /// Decode the DRAM location of a line under this MC's config.
+    pub fn locate(&self, line: emc_types::LineAddr) -> Location {
+        map_line(line, &self.cfg)
+    }
+
+    /// Number of requests waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue capacity (Table 1: 128 quad-core, 256 eight-core).
+    pub fn capacity(&self) -> usize {
+        self.queue_entries
+    }
+
+    /// Whether the queue is full (new requests must be retried later, a
+    /// real source of back-pressure in contended systems).
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.queue_entries
+    }
+
+    /// Enqueue a request at cycle `now`, stamping `mc_enqueue`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the queue is full (the caller retries;
+    /// boxing would add allocator traffic on the hot path).
+    #[allow(clippy::result_large_err)]
+    pub fn enqueue(&mut self, mut req: MemReq, now: Cycle) -> Result<(), MemReq> {
+        if self.is_full() {
+            return Err(req);
+        }
+        req.timeline.mc_enqueue = Some(now);
+        let loc = map_line(req.line, &self.cfg);
+        debug_assert!(self.owns_channel(loc.channel), "request routed to wrong MC");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueueEntry { req, loc, marked: false, seq });
+        Ok(())
+    }
+
+    /// Form a new PAR-BS batch if no marked requests remain: mark up to
+    /// [`MARKING_CAP`] oldest demand requests per (core, bank).
+    fn form_batch(&mut self) {
+        if self.queue.iter().any(|e| e.marked) {
+            return;
+        }
+        // Oldest-first marking.
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by_key(|&i| self.queue[i].seq);
+        let mut counts: std::collections::HashMap<(usize, usize, usize), usize> =
+            std::collections::HashMap::new();
+        for i in order {
+            let e = &self.queue[i];
+            // Writes are drained opportunistically outside batches.
+            if e.req.kind == AccessKind::Write {
+                continue;
+            }
+            let key = (e.req.requester.home_core(), e.loc.channel, e.loc.bank);
+            let c = counts.entry(key).or_insert(0);
+            if *c < MARKING_CAP {
+                *c += 1;
+                self.queue[i].marked = true;
+            }
+        }
+    }
+
+    /// Pick the best issueable request for local channel `ci`, by PAR-BS
+    /// priority: marked > unmarked; demand > prefetch > write; row-hit >
+    /// row-miss; oldest first.
+    fn pick(&self, ci: usize) -> Option<usize> {
+        let global = self.owned_channels[ci];
+        let ch = &self.channels[ci];
+        let mut best: Option<(usize, (bool, u8, bool, u64))> = None;
+        for (i, e) in self.queue.iter().enumerate() {
+            if e.loc.channel != global {
+                continue;
+            }
+            let kind_rank = match e.req.kind {
+                AccessKind::Read => 2u8,
+                AccessKind::Prefetch => 1,
+                AccessKind::Write => 0,
+            };
+            let row_hit = ch.open_row(e.loc) == Some(e.loc.row);
+            // Higher tuple = higher priority; seq inverted for oldest-first.
+            let key = (e.marked, kind_rank, row_hit, u64::MAX - e.seq);
+            if best.is_none_or(|(_, bk)| key > bk) {
+                best = Some((i, key));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Advance the controller by one cycle: form batches, issue at most one
+    /// request per owned channel whose bank is ready, and return every
+    /// request whose data burst completed by `now`.
+    pub fn tick(&mut self, now: Cycle, stats: &mut MemStats) -> Vec<Completion> {
+        self.form_batch();
+        for ci in 0..self.channels.len() {
+            let Some(qi) = self.pick(ci) else { continue };
+            let loc = self.queue[qi].loc;
+            if !self.channels[ci].can_issue(loc, now) {
+                continue;
+            }
+            let mut entry = self.queue.swap_remove(qi);
+            let is_write = entry.req.kind == AccessKind::Write;
+            let issue = self.channels[ci].issue(loc, is_write, now);
+            entry.req.timeline.dram_issue = Some(now);
+            entry.req.timeline.dram_done = Some(issue.data_at);
+            entry.req.timeline.row_hit = Some(issue.outcome == RowOutcome::Hit);
+            match issue.outcome {
+                RowOutcome::Hit => stats.row_hits += 1,
+                RowOutcome::Empty => {
+                    stats.row_empties += 1;
+                    stats.activates += 1;
+                }
+                RowOutcome::Conflict => {
+                    stats.row_conflicts += 1;
+                    stats.activates += 1;
+                    stats.precharges += 1;
+                }
+            }
+            match entry.req.kind {
+                AccessKind::Read => stats.dram_reads += 1,
+                AccessKind::Write => stats.dram_writes += 1,
+                AccessKind::Prefetch => stats.dram_prefetches += 1,
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.in_flight.push(InFlight { data_at: issue.data_at, seq, req: entry.req });
+        }
+        let mut out = Vec::new();
+        while let Some(top) = self.in_flight.peek() {
+            if top.data_at > now {
+                break;
+            }
+            let top = self.in_flight.pop().expect("peeked");
+            out.push(Completion { req: top.req });
+        }
+        out
+    }
+
+    /// Earliest cycle at which the controller has pending work that will
+    /// complete or could issue — used by the simulator to skip idle cycles.
+    pub fn next_event(&self) -> Option<Cycle> {
+        self.in_flight.peek().map(|f| f.data_at)
+    }
+
+    /// Whether the controller has any queued or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_types::{LineAddr, ReqId, Requester};
+
+    fn read(id: u64, line: u64, core: usize, now: Cycle) -> MemReq {
+        MemReq::read(ReqId(id), LineAddr(line), Requester::Core(core), 0x40, now)
+    }
+
+    fn drain(mc: &mut MemoryController, stats: &mut MemStats, until: Cycle) -> Vec<Completion> {
+        let mut all = Vec::new();
+        for t in 0..until {
+            all.extend(mc.tick(t, stats));
+        }
+        all
+    }
+
+    /// One channel for deterministic single-channel tests.
+    fn one_channel_cfg() -> DramConfig {
+        DramConfig { channels: 1, ..DramConfig::default() }
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let cfg = one_channel_cfg();
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let mut stats = MemStats::default();
+        mc.enqueue(read(1, 0, 0, 0), 0).unwrap();
+        let done = drain(&mut mc, &mut stats, 500);
+        assert_eq!(done.len(), 1);
+        let t = done[0].req.timeline;
+        assert_eq!(t.mc_enqueue, Some(0));
+        assert_eq!(t.dram_issue, Some(0));
+        assert_eq!(t.dram_done, Some(cfg.t_rcd + cfg.t_cas + cfg.t_burst));
+        assert_eq!(t.row_hit, Some(false));
+        assert_eq!(stats.dram_reads, 1);
+        assert_eq!(stats.row_empties, 1);
+        assert!(mc.is_idle());
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut cfg = one_channel_cfg();
+        cfg.queue_entries = 2;
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        assert!(mc.enqueue(read(1, 0, 0, 0), 0).is_ok());
+        assert!(mc.enqueue(read(2, 1, 0, 0), 0).is_ok());
+        let rejected = mc.enqueue(read(3, 2, 0, 0), 0);
+        assert!(rejected.is_err());
+        assert_eq!(rejected.unwrap_err().id, ReqId(3));
+    }
+
+    #[test]
+    fn row_hits_preferred_within_batch() {
+        let cfg = one_channel_cfg();
+        let lines_per_row = cfg.row_bytes / 64;
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let mut stats = MemStats::default();
+        // Open row 0 with request A.
+        mc.enqueue(read(1, 0, 0, 0), 0).unwrap();
+        let mut done = drain(&mut mc, &mut stats, 200);
+        assert_eq!(done.len(), 1);
+        // Now enqueue a conflicting row (older) and a row-hit (younger) for
+        // the same core: row-hit-first should service the younger first.
+        mc.enqueue(read(2, lines_per_row * 8, 0, 200), 200).unwrap(); // bank 0, row 1 (conflict)
+        mc.enqueue(read(3, 1, 0, 201), 201).unwrap(); // bank 0, row 0 (hit)
+        done = drain(&mut mc, &mut stats, 1000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].req.id, ReqId(3), "row hit serviced first");
+        assert_eq!(done[0].req.timeline.row_hit, Some(true));
+        assert_eq!(done[1].req.id, ReqId(2));
+    }
+
+    #[test]
+    fn marking_cap_bounds_a_hog() {
+        // Core 0 floods the queue; core 1 has one old-ish request. After
+        // batch formation, core 0 gets at most MARKING_CAP marked requests
+        // per bank, so core 1's request is marked too and is serviced
+        // within the first batch rather than starving.
+        let cfg = one_channel_cfg();
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let mut stats = MemStats::default();
+        let lines_per_row = cfg.row_bytes / 64;
+        // 10 requests from core 0 all to bank 0, alternating rows (no free
+        // row hits), enqueued first.
+        for i in 0..10 {
+            mc.enqueue(read(i, (i % 2) * lines_per_row * 8, 0, 0), 0).unwrap();
+        }
+        // One request from core 1 to the same bank, yet another row.
+        mc.enqueue(read(100, 2 * lines_per_row * 8 + 2, 1, 0), 0).unwrap();
+        let done = drain(&mut mc, &mut stats, 5000);
+        assert_eq!(done.len(), 11);
+        let pos = done.iter().position(|c| c.req.id == ReqId(100)).unwrap();
+        assert!(
+            pos <= MARKING_CAP + 1,
+            "core 1's request finished at position {pos}, starved by the hog"
+        );
+    }
+
+    #[test]
+    fn writes_yield_to_reads() {
+        let cfg = one_channel_cfg();
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let mut stats = MemStats::default();
+        let wb = MemReq::writeback(ReqId(1), LineAddr(0), Requester::Core(0), 0);
+        mc.enqueue(wb, 0).unwrap();
+        mc.enqueue(read(2, 64, 0, 0), 0).unwrap();
+        let done = drain(&mut mc, &mut stats, 1000);
+        assert_eq!(done[0].req.id, ReqId(2), "read before write");
+        assert_eq!(stats.dram_writes, 1);
+    }
+
+    #[test]
+    fn channels_split_across_mcs() {
+        let cfg = DramConfig::default(); // 2 channels
+        let mc0 = MemoryController::new(&cfg, vec![0]);
+        let mc1 = MemoryController::new(&cfg, vec![1]);
+        assert!(mc0.owns_channel(0) && !mc0.owns_channel(1));
+        assert!(mc1.owns_channel(1) && !mc1.owns_channel(0));
+    }
+
+    #[test]
+    fn two_channels_service_in_parallel() {
+        let cfg = DramConfig::default(); // 2 channels, line-interleaved
+        let mut mc = MemoryController::new(&cfg, vec![0, 1]);
+        let mut stats = MemStats::default();
+        mc.enqueue(read(1, 0, 0, 0), 0).unwrap(); // channel 0
+        mc.enqueue(read(2, 1, 0, 0), 0).unwrap(); // channel 1
+        let done = drain(&mut mc, &mut stats, 300);
+        assert_eq!(done.len(), 2);
+        // Both complete at the same cycle: true channel parallelism.
+        assert_eq!(
+            done[0].req.timeline.dram_done,
+            done[1].req.timeline.dram_done
+        );
+    }
+
+    #[test]
+    fn next_event_reports_inflight() {
+        let cfg = one_channel_cfg();
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let mut stats = MemStats::default();
+        assert_eq!(mc.next_event(), None);
+        mc.enqueue(read(1, 0, 0, 0), 0).unwrap();
+        mc.tick(0, &mut stats);
+        assert_eq!(mc.next_event(), Some(cfg.t_rcd + cfg.t_cas + cfg.t_burst));
+    }
+}

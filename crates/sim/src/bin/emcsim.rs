@@ -1,0 +1,122 @@
+//! `emcsim` — command-line front end to the full-system simulator.
+//!
+//! Usage:
+//!   emcsim [--mix H4 | --homog mcf] [--cores 4|8] [--mcs 1|2]
+//!          [--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]
+//!          [--budget N] [--seed N] [--json]
+//!
+//! Prints a human-readable report (or full JSON stats with `--json`).
+
+use emc_sim::{eight_core_mix, run_mix};
+use emc_types::{PrefetcherKind, SystemConfig};
+use emc_workloads::{mix_by_name, Benchmark};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: emcsim [--mix H1..H10 | --homog <bench>] [--cores 4|8] [--mcs 1|2]\n\
+         \t[--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]\n\
+         \t[--budget N] [--seed N] [--json]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut mix_name = "H4".to_string();
+    let mut homog: Option<String> = None;
+    let mut cores = 4usize;
+    let mut mcs = 1usize;
+    let mut pf = PrefetcherKind::None;
+    let mut emc = true;
+    let mut runahead = false;
+    let mut budget = 30_000u64;
+    let mut seed = 0x00c0_ffeeu64;
+    let mut json = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mix" => mix_name = args.next().unwrap_or_else(|| usage()),
+            "--homog" => homog = Some(args.next().unwrap_or_else(|| usage())),
+            "--cores" => cores = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--mcs" => mcs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--prefetcher" => {
+                pf = match args.next().as_deref() {
+                    Some("none") => PrefetcherKind::None,
+                    Some("ghb") => PrefetcherKind::Ghb,
+                    Some("stream") => PrefetcherKind::Stream,
+                    Some("markov") => PrefetcherKind::MarkovStream,
+                    Some("stride") => PrefetcherKind::Stride,
+                    _ => usage(),
+                }
+            }
+            "--no-emc" => emc = false,
+            "--runahead" => runahead = true,
+            "--budget" => budget = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+    let mut cfg = match (cores, mcs) {
+        (4, 1) => SystemConfig::quad_core(),
+        (8, 1) => SystemConfig::eight_core_1mc(),
+        (8, 2) => SystemConfig::eight_core_2mc(),
+        _ => usage(),
+    };
+    cfg = cfg.with_prefetcher(pf);
+    cfg.emc.enabled = emc;
+    cfg.core.runahead = runahead;
+    cfg.seed = seed;
+
+    let benches: Vec<Benchmark> = match &homog {
+        Some(name) => {
+            let b = Benchmark::all()
+                .into_iter()
+                .find(|b| b.name() == name)
+                .unwrap_or_else(|| usage());
+            vec![b; cores]
+        }
+        None => {
+            let quad = mix_by_name(&mix_name).unwrap_or_else(|| usage());
+            if cores == 8 { eight_core_mix(quad) } else { quad.to_vec() }
+        }
+    };
+    let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+    eprintln!("# {cores}-core, {mcs} MC, prefetcher {}, EMC {}, runahead {}, budget {budget}",
+        pf.label(), emc, runahead);
+    eprintln!("# workload: {}", names.join("+"));
+    let stats = run_mix(cfg, &benches, budget);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialize"));
+        return;
+    }
+    println!("{:<12} {:>8} {:>8} {:>10} {:>8}", "core", "IPC", "MPKI", "dep-miss%", "chains");
+    for (i, c) in stats.cores.iter().enumerate() {
+        println!(
+            "{:<12} {:>8.3} {:>8.1} {:>9.1}% {:>8}",
+            names[i],
+            c.ipc(),
+            c.mpki(),
+            100.0 * c.dependent_miss_fraction(),
+            c.chains_sent
+        );
+    }
+    println!();
+    println!("cycles: {}", stats.cycles);
+    println!("DRAM reads/writes/prefetches: {}/{}/{}",
+        stats.mem.dram_reads, stats.mem.dram_writes, stats.mem.dram_prefetches);
+    println!("row conflict rate: {:.1}%", 100.0 * stats.mem.row_conflict_rate());
+    if emc {
+        println!(
+            "EMC: {} chains, {:.1} uops/chain, {:.1}% of misses, dcache hit {:.1}%",
+            stats.emc.chains_executed,
+            stats.mean_chain_uops(),
+            100.0 * stats.emc_miss_fraction(),
+            100.0 * stats.emc.dcache_hit_rate()
+        );
+        println!(
+            "miss latency: core {:.0} vs EMC {:.0} cycles",
+            stats.mem.core_miss_latency.mean(),
+            stats.mem.emc_miss_latency.mean()
+        );
+    }
+}

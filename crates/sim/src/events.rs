@@ -1,0 +1,182 @@
+//! Scheduled-event plumbing for the system simulator.
+
+use emc_core::ChainResult;
+use emc_cpu::RobId;
+use emc_types::{Addr, CoreId, Cycle, LineAddr, MemReq};
+
+/// A scheduled simulator event.
+#[derive(Debug)]
+pub enum Ev {
+    /// An L1 hit completes at the core.
+    L1Done {
+        /// Core.
+        core: CoreId,
+        /// Load's ROB id.
+        rob: RobId,
+    },
+    /// A core demand request arrives at its home LLC slice.
+    LlcReq {
+        /// Requesting core.
+        core: CoreId,
+        /// Load's ROB id.
+        rob: RobId,
+        /// Physical line.
+        pline: LineAddr,
+        /// Virtual byte address.
+        vaddr: Addr,
+        /// Load PC.
+        pc: u64,
+        /// Cycle the request left the core (for latency attribution).
+        created: Cycle,
+        /// Ring cycles spent so far.
+        ring_cycles: Cycle,
+    },
+    /// LLC-hit data arrives back at the requesting core.
+    LlcDone {
+        /// Core.
+        core: CoreId,
+        /// Load's ROB id.
+        rob: RobId,
+        /// Physical line (fills L1).
+        pline: LineAddr,
+    },
+    /// A memory request arrives at a memory controller.
+    McArrive {
+        /// Target MC index.
+        mc: usize,
+        /// The request.
+        req: MemReq,
+    },
+    /// DRAM fill data arrives at the home LLC slice: install + forward.
+    FillAtLlc {
+        /// The completed request.
+        req: MemReq,
+        /// Ring cycles spent so far.
+        ring_cycles: Cycle,
+        /// Cache-access cycles spent so far.
+        cache_cycles: Cycle,
+    },
+    /// Data delivered to the requesting core: complete waiters.
+    CoreDeliver {
+        /// Core.
+        core: CoreId,
+        /// The completed request.
+        req: MemReq,
+        /// Ring component of the total latency.
+        ring_cycles: Cycle,
+        /// Cache component of the total latency.
+        cache_cycles: Cycle,
+    },
+    /// An EMC load (route = LLC) arrives at the home LLC slice.
+    EmcLlcReq {
+        /// Issuing EMC.
+        mc: usize,
+        /// Context tag (staleness guard).
+        tag: u64,
+        /// Context index.
+        ctx: usize,
+        /// Uop index within the chain.
+        uop: usize,
+        /// Home core.
+        core: CoreId,
+        /// Physical line.
+        pline: LineAddr,
+        /// Virtual address.
+        vaddr: Addr,
+        /// PC.
+        pc: u64,
+        /// Issue cycle (latency attribution).
+        created: Cycle,
+        /// Ring cycles spent so far.
+        ring_cycles: Cycle,
+    },
+    /// Data for an EMC load is available at its EMC.
+    EmcLoadDone {
+        /// EMC index.
+        mc: usize,
+        /// Context tag (staleness guard).
+        tag: u64,
+        /// Context index.
+        ctx: usize,
+        /// Uop index.
+        uop: usize,
+        /// Loaded value.
+        value: u64,
+    },
+    /// Chain live-outs arrive back at the home core.
+    ChainResults {
+        /// Home core.
+        core: CoreId,
+        /// Per-uop results.
+        results: Box<[ChainResult]>,
+    },
+    /// Chain abort notification arrives at the home core.
+    ChainAbortAtCore {
+        /// Home core.
+        core: CoreId,
+        /// ROB ids to return to local execution.
+        rob_ids: Box<[RobId]>,
+    },
+}
+
+/// Heap wrapper ordered by (cycle, sequence).
+#[derive(Debug)]
+pub struct Scheduled {
+    /// Fire cycle.
+    pub at: Cycle,
+    /// Tie-break sequence (FIFO among same-cycle events).
+    pub seq: u64,
+    /// Payload.
+    pub ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap: earliest first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(core: usize) -> Ev {
+        Ev::L1Done { core, rob: 0 }
+    }
+
+    #[test]
+    fn heap_pops_earliest_cycle_first() {
+        let mut h = BinaryHeap::new();
+        h.push(Scheduled { at: 30, seq: 0, ev: ev(0) });
+        h.push(Scheduled { at: 10, seq: 1, ev: ev(1) });
+        h.push(Scheduled { at: 20, seq: 2, ev: ev(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|s| s.at)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_cycle_events_pop_fifo() {
+        let mut h = BinaryHeap::new();
+        for seq in [5u64, 1, 3] {
+            h.push(Scheduled { at: 7, seq, ev: ev(seq as usize) });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|s| s.seq)).collect();
+        assert_eq!(order, vec![1, 3, 5], "ties break by insertion sequence");
+    }
+}

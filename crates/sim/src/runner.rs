@@ -1,0 +1,76 @@
+//! Experiment helpers: build and run the paper's workload mixes.
+
+use crate::system::System;
+use emc_types::rng::substream;
+use emc_types::{Stats, SystemConfig};
+use emc_workloads::{build, Benchmark, DEFAULT_ITERATIONS};
+
+/// Default retired-uop budget per core for full experiments. The paper
+/// runs 50 M instructions per benchmark; the synthetic kernels reach
+/// steady state quickly, so scaled-down runs preserve the figures' shape.
+pub const DEFAULT_BUDGET: u64 = 300_000;
+
+/// Hard cycle cap as a multiple of the budget (guards against a
+/// mis-configured system deadlocking a harness).
+pub fn cycle_cap(budget: u64) -> u64 {
+    budget.saturating_mul(60).max(10_000_000)
+}
+
+/// Build a [`System`] for `benches` (one per core) under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `benches.len() != cfg.cores`.
+pub fn build_system(cfg: SystemConfig, benches: &[Benchmark]) -> System {
+    assert_eq!(benches.len(), cfg.cores, "one benchmark per core");
+    let workloads = benches
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| build(b, substream(cfg.seed, i as u64), DEFAULT_ITERATIONS))
+        .collect();
+    System::new(cfg, workloads)
+}
+
+/// Run `benches` under `cfg` with a per-core retired-uop budget,
+/// preceded by a half-budget warmup whose statistics are discarded
+/// (SimPoint-style methodology, §5 of the paper).
+pub fn run_mix(cfg: SystemConfig, benches: &[Benchmark], budget: u64) -> Stats {
+    let mut sys = build_system(cfg, benches);
+    sys.run_with_warmup(budget / 2, budget, cycle_cap(budget))
+}
+
+/// Run a homogeneous workload: `cfg.cores` copies of one benchmark.
+pub fn run_homogeneous(cfg: SystemConfig, bench: Benchmark, budget: u64) -> Stats {
+    let benches = vec![bench; cfg.cores];
+    run_mix(cfg, &benches, budget)
+}
+
+/// Expand a quad-core mix to eight cores (two copies, §5).
+pub fn eight_core_mix(mix: [Benchmark; 4]) -> Vec<Benchmark> {
+    let mut v = mix.to_vec();
+    v.extend_from_slice(&mix);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_core_mix_duplicates() {
+        let m = eight_core_mix([
+            Benchmark::Mcf,
+            Benchmark::Lbm,
+            Benchmark::Milc,
+            Benchmark::Soplex,
+        ]);
+        assert_eq!(m.len(), 8);
+        assert_eq!(m[0], m[4]);
+    }
+
+    #[test]
+    fn cycle_cap_scales() {
+        assert!(cycle_cap(1_000_000) >= 60_000_000);
+        assert!(cycle_cap(10) >= 10_000_000);
+    }
+}

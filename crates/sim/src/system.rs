@@ -1,0 +1,1482 @@
+//! The full-system cycle simulator: cores, private L1s, a sliced shared
+//! LLC on a bi-directional ring, one or two (enhanced) memory controllers
+//! with PAR-BS scheduling over DDR3 channels, per-core prefetch engines
+//! with FDP throttling, and the EMC chain-generation/remote-execution
+//! flow (paper Figures 7 and 11).
+
+use crate::events::{Ev, Scheduled};
+use emc_cache::SetAssocCache;
+use emc_core::{generate_chain, AbortReason, DepMissCounter, Emc, EmcEvent, LoadRoute};
+use emc_cpu::{Core, CoreEvent, EntryState, RobId};
+use emc_dram::map_line;
+use emc_memctrl::MemoryController;
+use emc_prefetch::PrefetchEngine;
+use emc_ring::{Ring, RingKind, Topology};
+use emc_types::{
+    physical_line, AccessKind, Addr, CoreId, CoreStats, Cycle, LineAddr, MemReq, ReqId,
+    Requester, Stats, SystemConfig, UopKind, CACHE_LINE_BYTES,
+};
+use emc_workloads::Workload;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// An EMC load merged onto an outstanding line fetch.
+#[derive(Debug, Clone, Copy)]
+struct EmcWait {
+    mc: usize,
+    tag: u64,
+    ctx: usize,
+    uop: usize,
+    home_core: CoreId,
+    vaddr: Addr,
+}
+
+/// LLC-level outstanding miss bookkeeping.
+#[derive(Debug, Default)]
+struct Outstanding {
+    waiters: Vec<(CoreId, RobId)>,
+    emc_waiters: Vec<EmcWait>,
+}
+
+/// Metadata for EMC-issued memory requests.
+#[derive(Debug, Clone, Copy)]
+struct EmcReqMeta {
+    mc: usize,
+    tag: u64,
+    ctx: usize,
+    uop: usize,
+    vaddr: Addr,
+    ring_cycles: Cycle,
+    cache_cycles: Cycle,
+}
+
+/// Per-request latency components threaded to the completion point.
+#[derive(Debug, Clone, Copy, Default)]
+struct Components {
+    ring: Cycle,
+    cache: Cycle,
+}
+
+/// The simulated system.
+pub struct System {
+    /// Configuration this system was built with.
+    pub cfg: SystemConfig,
+    now: Cycle,
+    seq: u64,
+    cores: Vec<Core>,
+    /// Benchmark names per core (reporting).
+    pub bench_names: Vec<String>,
+    l1d: Vec<SetAssocCache>,
+    llc: Vec<SetAssocCache>,
+    ring: Ring,
+    topo: Topology,
+    mcs: Vec<MemoryController>,
+    mc_retry: Vec<Vec<MemReq>>,
+    emcs: Vec<Emc>,
+    emc_ctx_tag: Vec<Vec<u64>>,
+    prefetchers: Vec<PrefetchEngine>,
+    dep_counters: Vec<DepMissCounter>,
+    active_chain: Vec<Option<Vec<RobId>>>,
+    chain_cooldown: Vec<Cycle>,
+    pending_sources: HashMap<(CoreId, RobId), (usize, usize, u64)>,
+    source_ready: HashSet<(CoreId, RobId)>,
+    events: BinaryHeap<Scheduled>,
+    outstanding: HashMap<LineAddr, Outstanding>,
+    deliver_waiters: HashMap<ReqId, Vec<(CoreId, RobId)>>,
+    prefetched_by: HashMap<LineAddr, CoreId>,
+    req_components: HashMap<ReqId, Components>,
+    emc_req_meta: HashMap<ReqId, EmcReqMeta>,
+    next_req: u64,
+    /// Accumulated system statistics (cores filled at snapshot time).
+    pub stats: Stats,
+    snapshots: Vec<Option<CoreStats>>,
+    scratch_events: Vec<CoreEvent>,
+    measure_start: Cycle,
+    #[doc(hidden)]
+    dbg_regions: Option<[u64; 5]>,
+    #[doc(hidden)]
+    dbg_cov: Option<[u64; 4]>,
+}
+
+impl System {
+    /// Build a system running one workload per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload count differs from `cfg.cores` or the
+    /// config is invalid.
+    pub fn new(cfg: SystemConfig, workloads: Vec<Workload>) -> Self {
+        cfg.validate().expect("valid config");
+        assert_eq!(workloads.len(), cfg.cores, "one workload per core");
+        let topo = Topology { cores: cfg.cores, mcs: cfg.memory_controllers };
+        let cores: Vec<Core> = workloads
+            .iter()
+            .map(|w| Core::new(&cfg.core, Arc::new(w.program.clone()), w.memory.clone()))
+            .collect();
+        let bench_names = workloads.iter().map(|w| w.bench.name().to_string()).collect();
+        let mcs: Vec<MemoryController> = (0..cfg.memory_controllers)
+            .map(|m| MemoryController::new(&cfg.dram, cfg.channels_of_mc(m).collect()))
+            .collect();
+        let emcs: Vec<Emc> = (0..cfg.memory_controllers)
+            .map(|_| Emc::new(&cfg.emc, cfg.cores))
+            .collect();
+        let emc_ctx_tag = vec![vec![0u64; cfg.emc.contexts]; cfg.memory_controllers];
+        System {
+            now: 0,
+            seq: 0,
+            l1d: (0..cfg.cores).map(|_| SetAssocCache::new(&cfg.l1)).collect(),
+            llc: (0..cfg.cores).map(|_| SetAssocCache::new(&cfg.llc_slice)).collect(),
+            ring: Ring::new(topo, cfg.ring),
+            topo,
+            mc_retry: vec![Vec::new(); cfg.memory_controllers],
+            mcs,
+            emcs,
+            emc_ctx_tag,
+            prefetchers: (0..cfg.cores)
+                .map(|_| PrefetchEngine::new(cfg.prefetcher, &cfg.prefetch))
+                .collect(),
+            dep_counters: (0..cfg.cores)
+                .map(|_| DepMissCounter::new(cfg.emc.dep_counter_trigger))
+                .collect(),
+            active_chain: vec![None; cfg.cores],
+            chain_cooldown: vec![0; cfg.cores],
+            pending_sources: HashMap::new(),
+            source_ready: HashSet::new(),
+            events: BinaryHeap::new(),
+            outstanding: HashMap::new(),
+            deliver_waiters: HashMap::new(),
+            prefetched_by: HashMap::new(),
+            req_components: HashMap::new(),
+            emc_req_meta: HashMap::new(),
+            next_req: 0,
+            stats: Stats::new(cfg.cores),
+            snapshots: vec![None; cfg.cores],
+            scratch_events: Vec::new(),
+            measure_start: 0,
+            dbg_regions: None,
+            dbg_cov: None,
+            cores,
+            bench_names,
+            cfg,
+        }
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Read access to a core (final architectural state, statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn core(&self, idx: CoreId) -> &Core {
+        &self.cores[idx]
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Scheduled { at: at.max(self.now + 1), seq, ev });
+    }
+
+    fn new_req_id(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(self.next_req)
+    }
+
+    fn mc_of_line(&self, pline: LineAddr) -> usize {
+        let ch = map_line(pline, &self.cfg.dram).channel;
+        (0..self.cfg.memory_controllers)
+            .find(|&m| self.cfg.channels_of_mc(m).contains(&ch))
+            .expect("every channel has an owner")
+    }
+
+    fn slice_of(&self, pline: LineAddr) -> usize {
+        self.topo.llc_slice_of(pline)
+    }
+
+    // ==================================================================
+    // Run control
+    // ==================================================================
+
+    /// Run until every core has retired `budget_uops` (or finished its
+    /// program), or `max_cycles` elapse. Returns the final statistics
+    /// with per-core stats snapshotted at each core's budget crossing,
+    /// as in the paper's multiprogrammed methodology (§5).
+    pub fn run(&mut self, budget_uops: u64, max_cycles: u64) -> Stats {
+        while self.now < max_cycles && !self.all_cores_done(budget_uops) {
+            self.tick(budget_uops);
+        }
+        self.finalize()
+    }
+
+    /// Run with a warmup phase: execute `warmup_uops` per core with
+    /// statistics discarded (caches, predictors, DRAM row buffers and
+    /// prefetcher state all warm up), then measure `budget_uops` per
+    /// core. This mirrors the paper's SimPoint methodology (§5), where
+    /// measurement starts from a warmed representative region.
+    pub fn run_with_warmup(&mut self, warmup_uops: u64, budget_uops: u64, max_cycles: u64) -> Stats {
+        while self.now < max_cycles && !self.all_cores_done(warmup_uops) {
+            self.tick(u64::MAX); // no snapshots during warmup
+        }
+        self.reset_statistics();
+        while self.now < max_cycles && !self.all_cores_done(budget_uops) {
+            self.tick(budget_uops);
+        }
+        self.finalize()
+    }
+
+    /// Zero all statistics counters, keeping microarchitectural state.
+    fn reset_statistics(&mut self) {
+        self.measure_start = self.now;
+        self.stats = Stats::new(self.cfg.cores);
+        for c in &mut self.cores {
+            c.stats = CoreStats::default();
+        }
+        for e in &mut self.emcs {
+            e.stats = Default::default();
+        }
+        self.snapshots = vec![None; self.cfg.cores];
+    }
+
+    fn all_cores_done(&self, budget: u64) -> bool {
+        (0..self.cfg.cores).all(|c| {
+            self.snapshots[c].is_some()
+                || self.cores[c].stats.retired_uops >= budget
+                || self.cores[c].finished_at().is_some()
+        })
+    }
+
+    fn finalize(&mut self) -> Stats {
+        let mut stats = self.stats.clone();
+        stats.cycles = self.now - self.measure_start;
+        for c in 0..self.cfg.cores {
+            let snap = self.snapshots[c].clone().unwrap_or_else(|| {
+                let mut s = self.cores[c].stats.clone();
+                s.cycles =
+                    (self.cores[c].finished_at().unwrap_or(self.now) - self.measure_start).max(1);
+                s
+            });
+            stats.cores[c] = snap;
+        }
+        for emc in &self.emcs {
+            merge_emc(&mut stats.emc, &emc.stats);
+        }
+        stats.prefetch.degree = self.prefetchers.iter().map(|p| p.degree() as u64).max().unwrap_or(0);
+        stats
+    }
+
+    /// One simulation cycle.
+    pub fn tick(&mut self, budget: u64) {
+        self.drain_events();
+        self.tick_mcs();
+        self.tick_emcs();
+        self.maybe_generate_chains();
+        self.drain_prefetchers();
+        self.tick_cores();
+        self.take_snapshots(budget);
+        self.now += 1;
+    }
+
+    fn take_snapshots(&mut self, budget: u64) {
+        for c in 0..self.cfg.cores {
+            if self.snapshots[c].is_none()
+                && (self.cores[c].stats.retired_uops >= budget
+                    || self.cores[c].finished_at().is_some())
+            {
+                let mut s = self.cores[c].stats.clone();
+                s.cycles = (self.now - self.measure_start).max(1);
+                self.snapshots[c] = Some(s);
+            }
+        }
+    }
+
+    // ==================================================================
+    // Cores
+    // ==================================================================
+
+    fn tick_cores(&mut self) {
+        for c in 0..self.cfg.cores {
+            let mut events = std::mem::take(&mut self.scratch_events);
+            self.cores[c].tick(self.now, &mut events);
+            for ev in events.drain(..) {
+                match ev {
+                    CoreEvent::LoadIssued { rob, addr, pc } => self.on_core_load(c, rob, addr, pc),
+                    CoreEvent::StoreRetired { addr } => self.on_store_retired(c, addr),
+                }
+            }
+            self.scratch_events = events;
+        }
+    }
+
+    fn on_core_load(&mut self, core: CoreId, rob: RobId, vaddr: Addr, pc: u64) {
+        let pline = physical_line(core, vaddr.line());
+        self.cores[core].stats.l1d_accesses += 1;
+        if self.l1d[core].access(pline, false).is_some() {
+            let lat = self.l1d[core].latency;
+            self.schedule(self.now + lat, Ev::L1Done { core, rob });
+            return;
+        }
+        self.cores[core].stats.l1d_misses += 1;
+        // Merge into an outstanding DRAM-bound miss if one exists (an
+        // MSHR merge: it waits like a miss but is not a new one).
+        if let Some(o) = self.outstanding.get_mut(&pline) {
+            o.waiters.push((core, rob));
+            self.cores[core].mark_llc_miss_merged(rob);
+            return;
+        }
+        let slice = self.slice_of(pline);
+        let start = self.now + self.l1d[core].latency;
+        let arrive = self.ring.send(
+            RingKind::Control,
+            self.topo.core_stop(core),
+            self.topo.llc_stop(slice),
+            start,
+            false,
+            &mut self.stats.ring,
+        );
+        self.schedule(
+            arrive,
+            Ev::LlcReq {
+                core,
+                rob,
+                pline,
+                vaddr,
+                pc,
+                created: self.now,
+                ring_cycles: arrive - start,
+            },
+        );
+    }
+
+    fn on_store_retired(&mut self, core: CoreId, vaddr: Addr) {
+        let pline = physical_line(core, vaddr.line());
+        // L1 is write-through (Table 1): update if present, no allocate.
+        self.l1d[core].access(pline, true);
+        // Write-through traffic updates the LLC copy (write-allocate).
+        let slice = self.slice_of(pline);
+        if let Some(hit) = self.llc[slice].access(pline, true) {
+            if hit.flags.emc_resident {
+                let mc = self.mc_of_line(pline);
+                self.emcs[mc].invalidate_line(pline);
+                self.llc[slice].set_emc_resident(pline, false);
+            }
+        } else if let Some(ev) = self.llc[slice].fill(pline, true, false) {
+            self.handle_llc_eviction(ev);
+        }
+    }
+
+    // ==================================================================
+    // Event handlers
+    // ==================================================================
+
+    fn drain_events(&mut self) {
+        while let Some(top) = self.events.peek() {
+            if top.at > self.now {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked").ev;
+            self.handle_event(ev);
+        }
+    }
+
+    fn handle_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::L1Done { core, rob } => {
+                self.cores[core].complete_load(rob, self.now);
+            }
+            Ev::LlcReq { core, rob, pline, vaddr, pc, created, ring_cycles } => {
+                self.on_llc_req(core, rob, pline, vaddr, pc, created, ring_cycles);
+            }
+            Ev::LlcDone { core, rob, pline } => {
+                self.l1d[core].fill(pline, false, false);
+                self.cores[core].complete_load(rob, self.now);
+            }
+            Ev::McArrive { mc, mut req } => {
+                if req.kind == AccessKind::Prefetch {
+                    let has_waiters = self
+                        .outstanding
+                        .get(&req.line)
+                        .is_some_and(|o| !o.waiters.is_empty() || !o.emc_waiters.is_empty());
+                    if has_waiters {
+                        // A demand merged onto this prefetch while it was
+                        // in flight: it is a demand request now.
+                        req.kind = AccessKind::Read;
+                    } else if self.mcs[mc].queue_len() >= 3 * self.mcs[mc].capacity() / 4 {
+                        // Prefetches are dropped when the memory queue
+                        // runs hot: they must never back-pressure demands.
+                        self.outstanding.remove(&req.line);
+                        return;
+                    }
+                }
+                if let Err(req) = self.mcs[mc].enqueue(req, self.now) {
+                    self.mc_retry[mc].push(req);
+                }
+            }
+            Ev::FillAtLlc { req, ring_cycles, cache_cycles } => {
+                self.on_fill_at_llc(req, ring_cycles, cache_cycles);
+            }
+            Ev::CoreDeliver { core, req, ring_cycles, cache_cycles } => {
+                self.on_core_deliver(core, req, ring_cycles, cache_cycles);
+            }
+            Ev::EmcLlcReq { mc, tag, ctx, uop, core, pline, vaddr, pc, created, ring_cycles } => {
+                self.on_emc_llc_req(mc, tag, ctx, uop, core, pline, vaddr, pc, created, ring_cycles);
+            }
+            Ev::EmcLoadDone { mc, tag, ctx, uop, value } => {
+                if self.emc_ctx_tag[mc][ctx] == tag {
+                    self.emcs[mc].complete_load(ctx, uop, value);
+                }
+            }
+            Ev::ChainResults { core, results } => {
+                for r in results.iter() {
+                    self.cores[core].complete_remote(r.rob, r.value, r.store, self.now);
+                }
+            }
+            Ev::ChainAbortAtCore { core, rob_ids } => {
+                self.cores[core].unmark_remote(&rob_ids);
+                self.active_chain[core] = None;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_llc_req(
+        &mut self,
+        core: CoreId,
+        rob: RobId,
+        pline: LineAddr,
+        vaddr: Addr,
+        pc: u64,
+        created: Cycle,
+        ring_cycles: Cycle,
+    ) {
+        self.cores[core].stats.llc_accesses += 1;
+        let slice = self.slice_of(pline);
+        let lat = self.llc[slice].latency;
+        if let Some(hit) = self.llc[slice].access(pline, false) {
+            if hit.first_use_of_prefetch {
+                self.prefetched_by.remove(&pline);
+                self.prefetchers[core].on_useful();
+                // Keep streams advancing once prefetches start covering
+                // the demand stream (train on prefetched hits, as FDP's
+                // L2-access training does).
+                self.prefetchers[core].train_on_prefetch_hit(pline);
+                self.stats.prefetch.useful += 1;
+                self.cores[core].stats.prefetch_covered_misses += 1;
+                self.cores[core].note_dependent_covered_by_prefetch(rob);
+            }
+            let back = self.ring.send(
+                RingKind::Data,
+                self.topo.llc_stop(slice),
+                self.topo.core_stop(core),
+                self.now + lat,
+                false,
+                &mut self.stats.ring,
+            );
+            self.schedule(back, Ev::LlcDone { core, rob, pline });
+            return;
+        }
+        // Another request to the same line may have raced us here.
+        if let Some(o) = self.outstanding.get_mut(&pline) {
+            o.waiters.push((core, rob));
+            self.cores[core].mark_llc_miss_merged(rob);
+            return;
+        }
+        // Figure 2 limit study: dependent misses become LLC hits.
+        if self.cfg.ideal_dependent_hits && self.cores[core].load_is_dependent(rob) {
+            let back = self.ring.send(
+                RingKind::Data,
+                self.topo.llc_stop(slice),
+                self.topo.core_stop(core),
+                self.now + lat,
+                false,
+                &mut self.stats.ring,
+            );
+            self.schedule(back, Ev::LlcDone { core, rob, pline });
+            return;
+        }
+        self.cores[core].stats.llc_misses += 1;
+        if core == 0 {
+            if let Some(r) = self.dbg_regions.as_mut() {
+                let a = vaddr.0;
+                let idx = if (0x1000_0000..0x4000_0000).contains(&a) { 0 }
+                    else if (0x4000_0000..0x8000_0000).contains(&a) { 1 }
+                    else if (0x8000_0000..0x1_0000_0000).contains(&a) { 2 }
+                    else if a >= 0x1_0000_0000 { 3 } else { 4 };
+                r[idx] += 1;
+            }
+        }
+        if let Some(cv) = self.dbg_cov.as_mut() {
+            let a = vaddr.0;
+            if (0x1000_0000..0x4000_0000).contains(&a) { cv[0] += 1; }
+            if (0x4000_0000..0x8000_0000).contains(&a) { cv[2] += 1; }
+        }
+        self.cores[core].mark_llc_miss(rob);
+        let dependent = self.cores[core].load_is_dependent(rob);
+        self.dep_counters[core].on_llc_miss(dependent);
+        self.prefetchers[core].train(pline, pc);
+        let id = self.new_req_id();
+        let mut req = MemReq::read(id, pline, Requester::Core(core), pc, created);
+        req.timeline.llc_arrive = Some(self.now);
+        self.outstanding
+            .insert(pline, Outstanding { waiters: vec![(core, rob)], emc_waiters: Vec::new() });
+        let mc = self.mc_of_line(pline);
+        let depart = self.now + lat;
+        let arrive = self.ring.send(
+            RingKind::Control,
+            self.topo.llc_stop(slice),
+            self.topo.mc_stop(mc),
+            depart,
+            false,
+            &mut self.stats.ring,
+        );
+        self.req_components
+            .insert(id, Components { ring: ring_cycles + (arrive - depart), cache: lat });
+        self.schedule(arrive, Ev::McArrive { mc, req });
+    }
+
+    fn handle_llc_eviction(&mut self, ev: emc_cache::Eviction) {
+        if ev.flags.prefetched {
+            self.stats.prefetch.useless += 1;
+            if let Some(core) = self.prefetched_by.remove(&ev.line) {
+                self.prefetchers[core].on_useless();
+            }
+        } else {
+            self.prefetched_by.remove(&ev.line);
+        }
+        if ev.flags.emc_resident {
+            let mc = self.mc_of_line(ev.line);
+            self.emcs[mc].invalidate_line(ev.line);
+        }
+        if ev.flags.dirty {
+            let id = self.new_req_id();
+            let req = MemReq::writeback(id, ev.line, Requester::Core(0), self.now);
+            let mc = self.mc_of_line(ev.line);
+            let slice = self.slice_of(ev.line);
+            let arrive = self.ring.send(
+                RingKind::Data,
+                self.topo.llc_stop(slice),
+                self.topo.mc_stop(mc),
+                self.now,
+                false,
+                &mut self.stats.ring,
+            );
+            self.schedule(arrive, Ev::McArrive { mc, req });
+        }
+    }
+
+    fn on_fill_at_llc(&mut self, req: MemReq, ring_cycles: Cycle, cache_cycles: Cycle) {
+        let pline = req.line;
+        let slice = self.slice_of(pline);
+        let prefetched = req.kind == AccessKind::Prefetch;
+        if prefetched {
+            self.prefetched_by.insert(pline, req.requester.home_core());
+        }
+        // Low-confidence prefetches insert at LRU (FDP) so they cannot
+        // pollute the LLC; everything else inserts at MRU.
+        let lru_insert = prefetched
+            && self.prefetchers[req.requester.home_core()].low_confidence();
+        let evicted = if lru_insert {
+            self.llc[slice].fill_lru(pline, false, prefetched)
+        } else {
+            self.llc[slice].fill(pline, false, prefetched)
+        };
+        if let Some(ev) = evicted {
+            self.handle_llc_eviction(ev);
+        }
+        if self.cfg.emc.enabled {
+            // The line also sits in the servicing EMC's data cache now.
+            self.llc[slice].set_emc_resident(pline, true);
+        }
+        let waiters = self
+            .outstanding
+            .remove(&pline)
+            .map(|o| o.waiters)
+            .unwrap_or_default();
+        // A prefetch that demand loads merged onto is a *late* prefetch:
+        // it still delivers data to its waiters like a demand fill, and
+        // it counts as useful for FDP (the right response to lateness is
+        // a higher degree, not throttling).
+        if prefetched && !waiters.is_empty() {
+            self.prefetched_by.remove(&pline);
+            let trainer = waiters[0].0;
+            self.prefetchers[trainer].on_useful();
+            self.prefetchers[trainer].train_on_prefetch_hit(pline);
+            self.stats.prefetch.useful += 1;
+            // The demand consumed the prefetched line.
+            self.llc[slice].access(pline, false);
+        }
+        if waiters.is_empty() {
+            return;
+        }
+        let core = waiters[0].0;
+        self.deliver_waiters.insert(req.id, waiters);
+        // The fill pays the LLC array access before continuing up the
+        // hierarchy, and the L1 fill at the core — the part of the fill
+        // path the EMC bypasses entirely (§6.3, Figure 19).
+        let llc_lat = self.llc[slice].latency;
+        let depart = self.now + llc_lat;
+        let back = self.ring.send(
+            RingKind::Data,
+            self.topo.llc_stop(slice),
+            self.topo.core_stop(core),
+            depart,
+            false,
+            &mut self.stats.ring,
+        );
+        let l1_lat = self.l1d[core].latency;
+        self.schedule(
+            back + l1_lat,
+            Ev::CoreDeliver {
+                core,
+                req,
+                ring_cycles: ring_cycles + (back - depart),
+                cache_cycles: cache_cycles + llc_lat + l1_lat,
+            },
+        );
+    }
+
+    fn on_core_deliver(&mut self, _core: CoreId, mut req: MemReq, ring: Cycle, cache: Cycle) {
+        req.timeline.delivered = Some(self.now);
+        let waiters = self.deliver_waiters.remove(&req.id).unwrap_or_default();
+        for (c, rob) in waiters {
+            self.l1d[c].fill(req.line, false, false);
+            self.cores[c].complete_load(rob, self.now);
+            self.source_ready.remove(&(c, rob));
+            // A chain may be waiting on this load as its source miss and
+            // have missed the MC-time interception (the load merged onto
+            // an already-completed request): deliver at fill time.
+            if let Some(&(emc_mc, ctx, tag)) = self.pending_sources.get(&(c, rob)) {
+                if self.emc_ctx_tag[emc_mc][ctx] == tag {
+                    let value = self.source_value(emc_mc, ctx, c, rob);
+                    self.emcs[emc_mc].deliver_source(ctx, value);
+                }
+                self.pending_sources.remove(&(c, rob));
+            }
+        }
+        // Latency attribution (Figures 1, 18, 19) — core-issued demand
+        // requests only (EMC-issued ones are recorded at the MC).
+        let t = req.timeline;
+        if req.requester.is_emc() {
+            return;
+        }
+        if let (Some(total), Some(dl)) = (t.total_latency(), t.dram_latency()) {
+            self.stats.mem.core_miss_latency.record(total);
+            self.stats.mem.dram_service_latency.record(dl);
+            self.stats.mem.on_chip_delay.record(total.saturating_sub(dl));
+            self.stats.mem.core_ring_component.record(ring);
+            self.stats.mem.core_cache_component.record(cache);
+            self.stats.mem.core_queue_component.record(t.mc_queue_delay().unwrap_or(0));
+        }
+    }
+
+    // ==================================================================
+    // Memory controllers
+    // ==================================================================
+
+    fn tick_mcs(&mut self) {
+        for mc in 0..self.mcs.len() {
+            // Retry rejected enqueues first (FIFO).
+            let mut retry = std::mem::take(&mut self.mc_retry[mc]);
+            let mut still: Vec<MemReq> = Vec::new();
+            for mut req in retry.drain(..) {
+                if req.kind == AccessKind::Prefetch {
+                    let has_waiters = self
+                        .outstanding
+                        .get(&req.line)
+                        .is_some_and(|o| !o.waiters.is_empty() || !o.emc_waiters.is_empty());
+                    if has_waiters {
+                        req.kind = AccessKind::Read; // promoted by a merge
+                        if self.mcs[mc].is_full() {
+                            still.push(req);
+                        } else {
+                            let _ = self.mcs[mc].enqueue(req, self.now);
+                        }
+                    } else {
+                        // Never retry pure prefetches into a full queue.
+                        self.outstanding.remove(&req.line);
+                    }
+                } else if self.mcs[mc].is_full() {
+                    still.push(req);
+                } else {
+                    let _ = self.mcs[mc].enqueue(req, self.now);
+                }
+            }
+            self.mc_retry[mc] = still;
+
+            let completions = self.mcs[mc].tick(self.now, &mut self.stats.mem);
+            for comp in completions {
+                self.on_mc_completion(mc, comp.req);
+            }
+        }
+    }
+
+    fn on_mc_completion(&mut self, mc: usize, req: MemReq) {
+        if req.kind == AccessKind::Write {
+            return;
+        }
+        let pline = req.line;
+        if self.cfg.emc.enabled {
+            // Every line from DRAM passes through this EMC's data cache
+            // (§4.1.3).
+            if let Some(evicted) = self.emcs[mc].on_dram_fill(pline) {
+                let s = self.slice_of(evicted);
+                self.llc[s].set_emc_resident(evicted, false);
+            }
+        }
+        // Merged EMC loads get their data the moment it reaches the chip.
+        let emc_waits = self
+            .outstanding
+            .get_mut(&pline)
+            .map(|o| std::mem::take(&mut o.emc_waiters))
+            .unwrap_or_default();
+        for w in emc_waits {
+            let value = self.cores[w.home_core].mem.read_u64(w.vaddr);
+            let at = if w.mc == mc {
+                self.now + 1
+            } else {
+                self.ring.send(
+                    RingKind::Data,
+                    self.topo.mc_stop(mc),
+                    self.topo.mc_stop(w.mc),
+                    self.now,
+                    true,
+                    &mut self.stats.ring,
+                )
+            };
+            self.schedule(at, Ev::EmcLoadDone { mc: w.mc, tag: w.tag, ctx: w.ctx, uop: w.uop, value });
+        }
+        // Source-data interception for waiting chains (§4.3): any read
+        // completion can carry a chain's source line, regardless of who
+        // issued it (the source load may have merged onto an EMC- or
+        // prefetcher-issued fetch of the same line).
+        if let Some(o) = self.outstanding.get(&pline) {
+            let waiters = o.waiters.clone();
+            for (c, rob) in waiters {
+                self.source_ready.insert((c, rob));
+                if let Some(&(emc_mc, ctx, tag)) = self.pending_sources.get(&(c, rob)) {
+                    if self.emc_ctx_tag[emc_mc][ctx] == tag {
+                        let value = self.source_value(emc_mc, ctx, c, rob);
+                        self.emcs[emc_mc].deliver_source(ctx, value);
+                    }
+                    self.pending_sources.remove(&(c, rob));
+                }
+            }
+        }
+        match req.requester {
+            Requester::Emc { .. } => {
+                let meta = self.emc_req_meta.remove(&req.id).expect("EMC request meta");
+                let value = self.cores[meta.mc_home(&req)].mem.read_u64(meta.vaddr);
+                let deliver_at = if meta.mc == mc {
+                    self.now + 1
+                } else {
+                    // Cross-channel dependency: data returns over the ring
+                    // to the issuing EMC (§4.4).
+                    self.ring.send(
+                        RingKind::Data,
+                        self.topo.mc_stop(mc),
+                        self.topo.mc_stop(meta.mc),
+                        self.now,
+                        true,
+                        &mut self.stats.ring,
+                    )
+                };
+                // Record EMC-issued miss latency (Figure 18/19).
+                let t = req.timeline;
+                let total = deliver_at.saturating_sub(t.created);
+                self.stats.mem.emc_miss_latency.record(total);
+                self.stats.mem.emc_ring_component.record(meta.ring_cycles);
+                self.stats.mem.emc_cache_component.record(meta.cache_cycles);
+                self.stats.mem.emc_queue_component.record(t.mc_queue_delay().unwrap_or(0));
+                self.schedule(
+                    deliver_at,
+                    Ev::EmcLoadDone { mc: meta.mc, tag: meta.tag, ctx: meta.ctx, uop: meta.uop, value },
+                );
+                // EMC fills also install into the LLC.
+                let slice = self.slice_of(pline);
+                let depart = self.ring.send(
+                    RingKind::Data,
+                    self.topo.mc_stop(mc),
+                    self.topo.llc_stop(slice),
+                    self.now,
+                    true,
+                    &mut self.stats.ring,
+                );
+                self.schedule(depart, Ev::FillAtLlc { req, ring_cycles: 0, cache_cycles: 0 });
+            }
+            Requester::Core(_) | Requester::Prefetcher(_) => {
+                let comps = self.req_components.remove(&req.id).unwrap_or_default();
+                let slice = self.slice_of(pline);
+                let arrive = self.ring.send(
+                    RingKind::Data,
+                    self.topo.mc_stop(mc),
+                    self.topo.llc_stop(slice),
+                    self.now,
+                    false,
+                    &mut self.stats.ring,
+                );
+                self.schedule(
+                    arrive,
+                    Ev::FillAtLlc {
+                        req,
+                        ring_cycles: comps.ring + (arrive - self.now),
+                        cache_cycles: comps.cache,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Value of a chain's source miss: the home core's entry result if the
+    /// entry is still in flight, else re-read from the functional image.
+    fn source_value(&self, mc: usize, ctx: usize, core: CoreId, rob: RobId) -> u64 {
+        if let Some(e) = self.cores[core].entry(rob) {
+            if e.uop.kind == UopKind::Load && e.state != EntryState::Waiting {
+                return e.result;
+            }
+        }
+        let addr = self.emcs[mc]
+            .context_chain(ctx)
+            .map(|c| c.source_addr)
+            .expect("chain present");
+        self.cores[core].mem.read_u64(addr)
+    }
+
+    // ==================================================================
+    // EMC
+    // ==================================================================
+
+    fn tick_emcs(&mut self) {
+        if !self.cfg.emc.enabled {
+            return;
+        }
+        for mc in 0..self.emcs.len() {
+            for ev in self.emcs[mc].tick(self.now) {
+                match ev {
+                    EmcEvent::Load { ctx, uop, home_core, vaddr, pc, route } => {
+                        self.on_emc_load(mc, ctx, uop, home_core, vaddr, pc, route);
+                    }
+                    EmcEvent::Results { ctx } => self.on_emc_results(mc, ctx),
+                    EmcEvent::ChainDone { ctx } => self.on_chain_done(mc, ctx),
+                    EmcEvent::ChainAborted { ctx, reason } => self.on_chain_aborted(mc, ctx, reason),
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_emc_load(
+        &mut self,
+        mc: usize,
+        ctx: usize,
+        uop: usize,
+        core: CoreId,
+        vaddr: Addr,
+        pc: u64,
+        route: LoadRoute,
+    ) {
+        let tag = self.emc_ctx_tag[mc][ctx];
+        // Memory disambiguation against the home core's older stores
+        // (§4.3): conflicting or unresolved older store → cancel.
+        let rob = self.emcs[mc]
+            .context_chain(ctx)
+            .map(|c| c.uops[uop].rob)
+            .expect("chain present");
+        let conflict = self.cores[core].rob_iter().any(|e| {
+            e.id < rob
+                && e.uop.kind == UopKind::Store
+                && !e.remote
+                && (e.addr.is_none() || e.addr == Some(vaddr))
+        });
+        if conflict {
+            self.cores[core].stats.chains_cancelled_disambiguation += 1;
+            self.emcs[mc].force_abort(ctx, AbortReason::Disambiguation);
+            return;
+        }
+        let value = self.cores[core].mem.read_u64(vaddr);
+        let pline = physical_line(core, vaddr.line());
+        match route {
+            LoadRoute::DcacheHit => {
+                let lat = self.cfg.emc.dcache_latency;
+                self.schedule(self.now + lat, Ev::EmcLoadDone { mc, tag, ctx, uop, value });
+            }
+            LoadRoute::Llc => {
+                let slice = self.slice_of(pline);
+                let arrive = self.ring.send(
+                    RingKind::Control,
+                    self.topo.mc_stop(mc),
+                    self.topo.llc_stop(slice),
+                    self.now,
+                    true,
+                    &mut self.stats.ring,
+                );
+                self.schedule(
+                    arrive,
+                    Ev::EmcLlcReq {
+                        mc,
+                        tag,
+                        ctx,
+                        uop,
+                        core,
+                        pline,
+                        vaddr,
+                        pc,
+                        created: self.now,
+                        ring_cycles: arrive - self.now,
+                    },
+                );
+            }
+            LoadRoute::DirectDram => {
+                // The MC's home agent consults the coherence directory
+                // before touching DRAM; a mispredicted bypass of an
+                // LLC-resident line is redirected to the LLC instead of
+                // wasting a DRAM fetch (and risking staleness).
+                let slice = self.slice_of(pline);
+                let was_present = self.llc[slice].probe(pline).is_some();
+                self.emcs[mc].train_miss_predictor(core, pc, !was_present);
+                if was_present {
+                    let arrive = self.ring.send(
+                        RingKind::Control,
+                        self.topo.mc_stop(mc),
+                        self.topo.llc_stop(slice),
+                        self.now,
+                        true,
+                        &mut self.stats.ring,
+                    );
+                    self.schedule(
+                        arrive,
+                        Ev::EmcLlcReq {
+                            mc,
+                            tag,
+                            ctx,
+                            uop,
+                            core,
+                            pline,
+                            vaddr,
+                            pc,
+                            created: self.now,
+                            ring_cycles: arrive - self.now,
+                        },
+                    );
+                    return;
+                }
+                self.emcs[mc].stats.llc_misses_generated += 1;
+                self.send_emc_req_to_dram(mc, tag, ctx, uop, core, vaddr, pline, pc, 0, 0);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_emc_req_to_dram(
+        &mut self,
+        mc: usize,
+        tag: u64,
+        ctx: usize,
+        uop: usize,
+        core: CoreId,
+        vaddr: Addr,
+        pline: LineAddr,
+        pc: u64,
+        ring_cycles: Cycle,
+        cache_cycles: Cycle,
+    ) {
+        if let Some(cv) = self.dbg_cov.as_mut() {
+            let a = vaddr.0;
+            if (0x1000_0000..0x4000_0000).contains(&a) { cv[1] += 1; }
+            if (0x4000_0000..0x8000_0000).contains(&a) { cv[3] += 1; }
+        }
+        // Merge onto any outstanding fetch of the same line (the MC
+        // snoops its own queue; chain loads often share a node line).
+        if let Some(o) = self.outstanding.get_mut(&pline) {
+            o.emc_waiters.push(EmcWait { mc, tag, ctx, uop, home_core: core, vaddr });
+            return;
+        }
+        let id = self.new_req_id();
+        let req = MemReq::read(id, pline, Requester::Emc { home_core: core, mc }, pc, self.now);
+        self.emc_req_meta.insert(
+            id,
+            EmcReqMeta { mc, tag, ctx, uop, vaddr, ring_cycles, cache_cycles },
+        );
+        self.outstanding
+            .insert(pline, Outstanding { waiters: Vec::new(), emc_waiters: Vec::new() });
+        let owner = self.mc_of_line(pline);
+        if owner == mc {
+            // The EMC is colocated with the memory queue: no ring hop.
+            self.schedule(self.now + 1, Ev::McArrive { mc: owner, req });
+        } else {
+            // Cross-channel dependency: EMC→EMC direct (§4.4).
+            let arrive = self.ring.send(
+                RingKind::Control,
+                self.topo.mc_stop(mc),
+                self.topo.mc_stop(owner),
+                self.now,
+                true,
+                &mut self.stats.ring,
+            );
+            self.schedule(arrive, Ev::McArrive { mc: owner, req });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_emc_llc_req(
+        &mut self,
+        mc: usize,
+        tag: u64,
+        ctx: usize,
+        uop: usize,
+        core: CoreId,
+        pline: LineAddr,
+        vaddr: Addr,
+        pc: u64,
+        created: Cycle,
+        ring_cycles: Cycle,
+    ) {
+        let _ = vaddr;
+        if self.emc_ctx_tag[mc][ctx] != tag {
+            return; // chain finished/aborted while the request was in flight
+        }
+        let slice = self.slice_of(pline);
+        let lat = self.llc[slice].latency;
+        if let Some(hit) = self.llc[slice].access(pline, false) {
+            self.emcs[mc].train_miss_predictor(core, pc, false);
+            if hit.first_use_of_prefetch {
+                self.prefetched_by.remove(&pline);
+                self.prefetchers[core].on_useful();
+                self.stats.prefetch.useful += 1;
+                self.emcs[mc].stats.requests_covered_by_prefetch += 1;
+            }
+            let value = self.cores[core].mem.read_u64(vaddr);
+            let back = self.ring.send(
+                RingKind::Data,
+                self.topo.llc_stop(slice),
+                self.topo.mc_stop(mc),
+                self.now + lat,
+                true,
+                &mut self.stats.ring,
+            );
+            self.schedule(back, Ev::EmcLoadDone { mc, tag, ctx, uop, value });
+            return;
+        }
+        self.emcs[mc].train_miss_predictor(core, pc, true);
+        self.emcs[mc].stats.llc_misses_generated += 1;
+        let _ = created;
+        self.send_emc_req_to_dram(mc, tag, ctx, uop, core, vaddr, pline, pc, ring_cycles, lat);
+    }
+
+    /// Ship the results completed this cycle back to the home core as
+    /// one data-ring message (incremental live-out return).
+    fn on_emc_results(&mut self, mc: usize, ctx: usize) {
+        let Some(core) = self.emcs[mc].context_chain(ctx).map(|c| c.home_core) else { return };
+        let results = self.emcs[mc].drain_results(ctx);
+        if results.is_empty() {
+            return;
+        }
+        self.cores[core].stats.chain_live_outs += results.len() as u64;
+        let arrive = self.ring.send(
+            RingKind::Data,
+            self.topo.mc_stop(mc),
+            self.topo.core_stop(core),
+            self.now,
+            true,
+            &mut self.stats.ring,
+        );
+        self.schedule(arrive, Ev::ChainResults { core, results: results.into_boxed_slice() });
+    }
+
+    fn on_chain_done(&mut self, mc: usize, ctx: usize) {
+        // Ship any straggler results before freeing the context.
+        self.on_emc_results(mc, ctx);
+        let fin = self.emcs[mc].take_finished(ctx);
+        self.emc_ctx_tag[mc][ctx] += 1;
+        let core = fin.chain.home_core;
+        self.pending_sources.remove(&(core, fin.chain.source_rob));
+        self.active_chain[core] = None;
+    }
+
+    fn on_chain_aborted(&mut self, mc: usize, ctx: usize, reason: AbortReason) {
+        let fin = self.emcs[mc].take_finished(ctx);
+        self.emc_ctx_tag[mc][ctx] += 1;
+        let core = fin.chain.home_core;
+        self.pending_sources.remove(&(core, fin.chain.source_rob));
+        match reason {
+            AbortReason::TlbMiss => self.cores[core].stats.chains_aborted_tlb += 1,
+            AbortReason::BranchMispredict => {
+                self.cores[core].stats.chains_aborted_branch += 1;
+            }
+            AbortReason::Disambiguation => {}
+        }
+        let rob_ids: Vec<RobId> = fin.chain.uops.iter().map(|u| u.rob).collect();
+        let arrive = self.ring.send(
+            RingKind::Control,
+            self.topo.mc_stop(mc),
+            self.topo.core_stop(core),
+            self.now,
+            true,
+            &mut self.stats.ring,
+        );
+        self.schedule(arrive, Ev::ChainAbortAtCore { core, rob_ids: rob_ids.into_boxed_slice() });
+    }
+
+    fn maybe_generate_chains(&mut self) {
+        if !self.cfg.emc.enabled {
+            return;
+        }
+        for core in 0..self.cfg.cores {
+            if self.active_chain[core].is_some()
+                || self.now < self.chain_cooldown[core]
+                || self.cores[core].in_runahead()
+            {
+                continue;
+            }
+            if self.cores[core].full_window_stall().is_none() {
+                continue;
+            }
+            if !self.dep_counters[core].should_generate() {
+                continue;
+            }
+            // The head miss blocks retirement, but the chain worth
+            // accelerating may hang off any outstanding miss in the
+            // stalled window (e.g. the next pointer-chase hop, which
+            // issued together with the head's). Walk the window oldest
+            // first and take the first chain that reaches a dependent
+            // load; fall back to the head's chain.
+            let candidates: Vec<RobId> = self.cores[core]
+                .rob_iter()
+                .filter(|e| {
+                    e.uop.kind == UopKind::Load
+                        && e.llc_miss
+                        && e.state == EntryState::Issued
+                        && !e.remote
+                        && e.addr.is_some()
+                })
+                .take(self.cfg.emc.chain_candidates.max(1))
+                .map(|e| e.id)
+                .collect();
+            // Prefer the chain that reaches the most dependent loads: a
+            // stalled window usually holds both the payload-pointer load
+            // (whose chain is one payload miss) and the node load (whose
+            // chain carries the entire pointer chase).
+            let mut best: Option<(usize, emc_core::GeneratedChain)> = None;
+            for src in candidates {
+                if let Some(g) = generate_chain(&self.cores[core], core, src, &self.cfg.emc) {
+                    let loads = g.chain.uops.iter().filter(|u| u.kind == UopKind::Load).count();
+                    let better = match &best {
+                        None => true,
+                        Some((bl, bg)) => {
+                            loads > *bl || (loads == *bl && g.chain.uops.len() > bg.chain.uops.len())
+                        }
+                    };
+                    if better {
+                        best = Some((loads, g));
+                    }
+                }
+            }
+            let Some((_, g)) = best else {
+                self.chain_cooldown[core] = self.now + 8;
+                continue;
+            };
+            let chain = g.chain;
+            let source_pline = physical_line(core, chain.source_addr.line());
+            let dest_mc = self.mc_of_line(source_pline);
+            // The EMC advertises context availability on the control
+            // ring; the context is reserved at generation time and the
+            // chain's arrival over the data ring gates execution.
+            if !self.emcs[dest_mc].has_free_context() {
+                self.chain_cooldown[core] = self.now + 32;
+                continue;
+            }
+            let rob_ids: Vec<RobId> = chain.uops.iter().map(|u| u.rob).collect();
+            let source_rob = chain.source_rob;
+            // Ship: 6 B/uop + live-ins, over the data ring (§6.5).
+            let msgs = chain.transfer_bytes().div_ceil(CACHE_LINE_BYTES).max(1);
+            let start = self.now + g.gen_cycles;
+            let mut arrive = start;
+            for _ in 0..msgs {
+                arrive = self.ring.send(
+                    RingKind::Data,
+                    self.topo.core_stop(core),
+                    self.topo.mc_stop(dest_mc),
+                    start,
+                    true,
+                    &mut self.stats.ring,
+                );
+            }
+            let Ok(ctx) = self.emcs[dest_mc].start_chain(chain, arrive) else {
+                self.chain_cooldown[core] = self.now + 32;
+                continue;
+            };
+            self.cores[core].stats.chains_sent += 1;
+            self.cores[core].stats.chain_uops_sent += rob_ids.len() as u64;
+            self.cores[core].stats.record_chain_length(rob_ids.len());
+            self.cores[core].mark_remote(&rob_ids);
+            self.active_chain[core] = Some(rob_ids);
+            self.chain_cooldown[core] = self.now + g.gen_cycles;
+            let tag = self.emc_ctx_tag[dest_mc][ctx];
+            // Source data may already be on chip (or the load done).
+            let already = self.source_ready.contains(&(core, source_rob))
+                || self.cores[core]
+                    .entry(source_rob)
+                    .is_none_or(|e| e.state == EntryState::Done);
+            if already {
+                let value = self.source_value(dest_mc, ctx, core, source_rob);
+                self.emcs[dest_mc].deliver_source(ctx, value);
+            } else {
+                self.pending_sources.insert((core, source_rob), (dest_mc, ctx, tag));
+            }
+            if let Some(c) = self.emcs[dest_mc].context_chain(ctx) {
+                self.cores[core].stats.chain_live_ins += c.live_in_count();
+            }
+        }
+    }
+
+    /// Diagnostics: count core-issued vs EMC-issued chase-region misses.
+    #[doc(hidden)]
+    pub fn debug_coverage(&mut self, cycles: u64) {
+        self.dbg_cov = Some([0; 4]);
+        for _ in 0..cycles {
+            self.tick(u64::MAX);
+        }
+        let c = self.dbg_cov.unwrap();
+        println!("node: core={} emc={}  payload: core={} emc={}", c[0], c[1], c[2], c[3]);
+        let chains: u64 = self.cores.iter().map(|x| x.stats.chains_sent).sum();
+        println!("chains={} stall0={} cycles0={}", chains,
+            self.cores[0].stats.full_window_stall_cycles, self.cores[0].stats.cycles);
+    }
+
+    /// Diagnostics: print per-core progress.
+    #[doc(hidden)]
+    pub fn debug_progress(&self) {
+        for (i, c) in self.cores.iter().enumerate() {
+            println!("  core {i} ({}): retired={} rob={} stalls={}",
+                self.bench_names[i], c.stats.retired_uops, c.rob_len(),
+                c.stats.full_window_stall_cycles);
+        }
+    }
+
+    /// Diagnostics: dump one core's window and related chain state.
+    #[doc(hidden)]
+    pub fn debug_core_dump(&self, core: usize) {
+        let c = &self.cores[core];
+        println!("core {core} retired={} rob_len={} finished={:?} r15={} active_chain={:?} cooldown={}",
+            c.stats.retired_uops, c.rob_len(), c.finished_at(), c.committed_regs()[15],
+            self.active_chain[core], self.chain_cooldown[core]);
+        for e in c.rob_iter().take(20) {
+            println!("  id={} {:?} st={:?} rem={} llc={} ready=[{},{}] prod=[{:?},{:?}] addr={:?}",
+                e.id, e.uop.kind, e.state, e.remote, e.llc_miss,
+                e.srcs[0].ready(), e.srcs[1].ready(), e.srcs[0].producer, e.srcs[1].producer, e.addr);
+        }
+        for (m, emc) in self.emcs.iter().enumerate() {
+            for ctx in 0..self.cfg.emc.contexts {
+                if let Some(ch) = emc.context_chain(ctx) {
+                    println!("emc {m} ctx {ctx}: home={} src_rob={} uops={} pending={:?} tag={}",
+                        ch.home_core, ch.source_rob, ch.uops.len(),
+                        self.pending_sources.get(&(ch.home_core, ch.source_rob)),
+                        self.emc_ctx_tag[m][ctx]);
+                }
+            }
+        }
+        println!("source_ready: {:?}", self.source_ready.iter().filter(|(c2,_)| *c2==core).collect::<Vec<_>>());
+        println!("outstanding: {}", self.outstanding.len());
+    }
+
+    /// Diagnostics: detect a stuck system and dump scheduler state.
+    #[doc(hidden)]
+    pub fn debug_deadlock(&mut self, max_cycles: u64) {
+        let mut last_retired: Vec<u64> = vec![0; self.cfg.cores];
+        let mut stuck_since = 0u64;
+        for _ in 0..max_cycles {
+            self.tick(u64::MAX);
+            if self.now.is_multiple_of(10_000) {
+                let cur: Vec<u64> = self.cores.iter().map(|c| c.stats.retired_uops).collect();
+                if cur == last_retired {
+                    stuck_since += 1;
+                    if stuck_since >= 3 {
+                        println!("DEADLOCK at cycle {}", self.now);
+                        for (i, c) in self.cores.iter().enumerate() {
+                            let head = c.rob_iter().next();
+                            println!("core {i}: retired={} rob_len={} active_chain={:?}",
+                                c.stats.retired_uops, c.rob_len(),
+                                self.active_chain[i].as_ref().map(|v| v.len()));
+                            if let Some(h) = head {
+                                println!("  head id={} {:?} state={:?} remote={} llc_miss={} addr={:?}",
+                                    h.id, h.uop.kind, h.state, h.remote, h.llc_miss, h.addr);
+                            }
+                            for e in c.rob_iter().take(8) {
+                                println!("    id={} {:?} st={:?} rem={} srcs_ready=[{},{}]",
+                                    e.id, e.uop.kind, e.state, e.remote,
+                                    e.srcs[0].ready(), e.srcs[1].ready());
+                            }
+                        }
+                        for (m, emc) in self.emcs.iter().enumerate() {
+                            for ctx in 0..self.cfg.emc.contexts {
+                                if let Some(ch) = emc.context_chain(ctx) {
+                                    println!("emc {m} ctx {ctx}: home={} source_rob={} uops={} pending_src={:?}",
+                                        ch.home_core, ch.source_rob, ch.uops.len(),
+                                        self.pending_sources.get(&(ch.home_core, ch.source_rob)));
+                                }
+                            }
+                        }
+                        println!("outstanding lines: {}", self.outstanding.len());
+                        println!("mc queues: {:?}", self.mcs.iter().map(|m| m.queue_len()).collect::<Vec<_>>());
+                        println!("mc retry: {:?}", self.mc_retry.iter().map(|r| r.len()).collect::<Vec<_>>());
+                        println!("events pending: {}", self.events.len());
+                        return;
+                    }
+                } else {
+                    stuck_since = 0;
+                    last_retired = cur;
+                }
+            }
+        }
+        println!("no deadlock within {max_cycles} cycles");
+    }
+
+    /// Diagnostics: classify core-0 LLC misses by address region.
+    #[doc(hidden)]
+    pub fn debug_region_misses(&mut self, cycles: u64) {
+        self.dbg_regions = Some([0; 5]);
+        for _ in 0..cycles {
+            self.tick(u64::MAX);
+        }
+        let r = self.dbg_regions.unwrap();
+        println!("misses: chase={} payload={} stream={} random={} other={}", r[0], r[1], r[2], r[3], r[4]);
+        println!("llc_misses={} accesses={}", self.cores[0].stats.llc_misses, self.cores[0].stats.llc_accesses);
+    }
+
+    /// Diagnostics: sample ROB occupancy and window composition of core 0.
+    #[doc(hidden)]
+    pub fn debug_window(&mut self, cycles: u64) {
+        use std::collections::HashMap as Map;
+        let mut occ_hist: Map<usize, u64> = Map::new();
+        let mut stalls = 0u64;
+        for _ in 0..cycles {
+            self.tick(u64::MAX);
+            let len = self.cores[0].rob_len();
+            *occ_hist.entry(len / 32).or_insert(0) += 1;
+            if self.cores[0].full_window_stall().is_some() {
+                stalls += 1;
+            }
+        }
+        let mut keys: Vec<_> = occ_hist.keys().copied().collect();
+        keys.sort();
+        for k in keys {
+            println!("rob in [{},{}) : {}", k * 32, (k + 1) * 32, occ_hist[&k]);
+        }
+        println!("stall cycles: {stalls}");
+        let waiting = self.cores[0].rob_iter().filter(|e| e.state == EntryState::Waiting).count();
+        println!("rob_len={} waiting={} head={:?}", self.cores[0].rob_len(), waiting,
+                 self.cores[0].rob_iter().next().map(|e| (e.uop.kind, e.state, e.llc_miss)));
+    }
+
+    /// Diagnostics: run until `n` chains have been generated, printing
+    /// each chain and the stalled window context.
+    #[doc(hidden)]
+    pub fn debug_first_chains(&mut self, n: u64) {
+        let mut seen = 0;
+        let mut stall_reported = 0;
+        for _ in 0..3_000_000u64 {
+            let before: u64 = self.cores.iter().map(|c| c.stats.chains_sent).sum();
+            self.tick(u64::MAX);
+            let after: u64 = self.cores.iter().map(|c| c.stats.chains_sent).sum();
+            if after > before {
+                for core in 0..self.cfg.cores {
+                    if let Some(ids) = &self.active_chain[core] {
+                        if seen < n {
+                            println!("--- chain from core {core} at cycle {} ---", self.now);
+                            for &id in ids.iter() {
+                                if let Some(e) = self.cores[core].entry(id) {
+                                    println!("  id={} kind={:?} dst={:?} imm={:#x}", e.id, e.uop.kind, e.uop.dst, e.uop.imm);
+                                }
+                            }
+                        }
+                    }
+                }
+                seen += 1;
+                if seen >= n { break; }
+            }
+            // report first few stalls
+            if stall_reported < 3 {
+                for core in 0..self.cfg.cores {
+                    if let Some(src) = self.cores[core].full_window_stall() {
+                        stall_reported += 1;
+                        println!("=== stall core {core} cycle {} source id {src} dep_ctr={} ===", self.now, self.dep_counters[core].value());
+                        let rob: Vec<_> = self.cores[core].rob_iter().take(14).collect();
+                        for e in rob {
+                            println!("  id={} {:?} state={:?} remote={} waiters={:?} srcs=[{:?},{:?}]",
+                                e.id, e.uop.kind, e.state, e.remote,
+                                e.waiters, e.srcs[0].producer, e.srcs[1].producer);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        println!("chains seen: {seen}");
+    }
+
+    // ==================================================================
+    // Prefetch
+    // ==================================================================
+
+    fn drain_prefetchers(&mut self) {
+        if self.cfg.prefetcher == emc_types::PrefetcherKind::None {
+            return;
+        }
+        for core in 0..self.cfg.cores {
+            let candidates = self.prefetchers[core].take_requests();
+            for line in candidates {
+                let pline = line; // trained on physical lines
+                if self.outstanding.contains_key(&pline) {
+                    continue;
+                }
+                let slice = self.slice_of(pline);
+                if self.llc[slice].probe(pline).is_some() {
+                    continue;
+                }
+                self.stats.prefetch.issued += 1;
+                let id = self.new_req_id();
+                let req = MemReq::prefetch(id, pline, core, self.now);
+                self.outstanding
+                    .insert(pline, Outstanding { waiters: Vec::new(), emc_waiters: Vec::new() });
+                let mc = self.mc_of_line(pline);
+                let arrive = self.ring.send(
+                    RingKind::Control,
+                    self.topo.core_stop(core),
+                    self.topo.mc_stop(mc),
+                    self.now,
+                    false,
+                    &mut self.stats.ring,
+                );
+                self.schedule(arrive, Ev::McArrive { mc, req });
+            }
+        }
+    }
+}
+
+impl EmcReqMeta {
+    fn mc_home(&self, req: &MemReq) -> CoreId {
+        match req.requester {
+            Requester::Emc { home_core, .. } => home_core,
+            _ => unreachable!("EMC meta on non-EMC request"),
+        }
+    }
+}
+
+fn merge_emc(into: &mut emc_types::EmcStats, from: &emc_types::EmcStats) {
+    into.chains_executed += from.chains_executed;
+    into.uops_executed += from.uops_executed;
+    into.loads_executed += from.loads_executed;
+    into.stores_executed += from.stores_executed;
+    into.dcache_accesses += from.dcache_accesses;
+    into.dcache_hits += from.dcache_hits;
+    into.direct_to_dram += from.direct_to_dram;
+    into.llc_lookups += from.llc_lookups;
+    into.llc_misses_generated += from.llc_misses_generated;
+    into.tlb_hits += from.tlb_hits;
+    into.tlb_misses += from.tlb_misses;
+    into.chains_rejected_busy += from.chains_rejected_busy;
+    into.branch_mispredicts_detected += from.branch_mispredicts_detected;
+    into.requests_covered_by_prefetch += from.requests_covered_by_prefetch;
+}

@@ -1,0 +1,60 @@
+//! System-level runahead: the paper's §1/§2 contrast between runahead
+//! (independent misses) and the EMC (dependent misses), end to end.
+
+use emc_sim::run_homogeneous;
+use emc_types::SystemConfig;
+use emc_workloads::Benchmark;
+
+fn ipc_sum(stats: &emc_types::Stats) -> f64 {
+    stats.cores.iter().map(|c| c.ipc()).sum()
+}
+
+#[test]
+fn runahead_and_emc_compose() {
+    let budget = 6_000;
+    let base = SystemConfig::quad_core().without_emc();
+    let mut ra = base.clone();
+    ra.core.runahead = true;
+    let emc = SystemConfig::quad_core();
+    let mut both = SystemConfig::quad_core();
+    both.core.runahead = true;
+
+    // soplex mixes dependent chases with independent xorshift misses:
+    // each mechanism must engage, and neither may break the other.
+    let b = run_homogeneous(base, Benchmark::Soplex, budget);
+    let r = run_homogeneous(ra, Benchmark::Soplex, budget);
+    let e = run_homogeneous(emc, Benchmark::Soplex, budget);
+    let be = run_homogeneous(both, Benchmark::Soplex, budget);
+
+    assert!(r.cores.iter().map(|c| c.runahead_entries).sum::<u64>() > 0);
+    assert!(e.emc.chains_executed > 0);
+    assert!(be.cores.iter().map(|c| c.runahead_entries).sum::<u64>() > 0);
+
+    let b_ipc = ipc_sum(&b);
+    for (name, s) in [("runahead", &r), ("emc", &e), ("both", &be)] {
+        let ipc = ipc_sum(s);
+        assert!(
+            ipc > 0.8 * b_ipc,
+            "{name} must not cripple performance: {b_ipc:.3} -> {ipc:.3}"
+        );
+        for c in &s.cores {
+            assert!(c.retired_uops >= budget);
+        }
+    }
+}
+
+#[test]
+fn runahead_prefetches_independent_misses_at_system_level() {
+    let budget = 6_000;
+    let base = SystemConfig::quad_core().without_emc();
+    let mut ra = base.clone();
+    ra.core.runahead = true;
+    // milc has streams + a chase; the streams give runahead real targets.
+    let b = run_homogeneous(base, Benchmark::Milc, budget);
+    let r = run_homogeneous(ra, Benchmark::Milc, budget);
+    let reqs: u64 = r.cores.iter().map(|c| c.runahead_requests).sum();
+    assert!(reqs > 0, "runahead must issue prefetching requests");
+    // Speculative requests warm the caches; performance must not regress
+    // meaningfully.
+    assert!(ipc_sum(&r) > 0.85 * ipc_sum(&b));
+}

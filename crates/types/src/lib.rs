@@ -1,0 +1,50 @@
+//! Common types for the EMC reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: the micro-op ISA ([`Uop`](uop), [`UopKind`]), static programs
+//! ([`Program`]), physical/line/page addresses ([`Addr`], [`LineAddr`],
+//! [`PageAddr`]), the paged functional memory image ([`MemoryImage`]),
+//! memory-system requests ([`MemReq`]) with their latency timelines,
+//! system configuration ([`SystemConfig`]) mirroring Table 1 of the paper,
+//! and the statistics counters ([`Stats`]) that the figure harnesses read.
+//!
+//! # Example
+//!
+//! ```
+//! use emc_types::{SystemConfig, UopKind};
+//!
+//! let cfg = SystemConfig::quad_core();
+//! assert_eq!(cfg.cores, 4);
+//! assert!(UopKind::Load.emc_allowed());
+//! assert!(!UopKind::FpAdd.emc_allowed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod mem_image;
+pub mod program;
+pub mod req;
+pub mod rng;
+pub mod stats;
+pub mod uop;
+
+pub use addr::{physical_line, Addr, LineAddr, PageAddr, CACHE_LINE_BYTES, PAGE_BYTES};
+pub use config::{
+    CacheConfig, CoreConfig, DramConfig, EmcConfig, PrefetchConfig, PrefetcherKind, RingConfig,
+    SystemConfig,
+};
+pub use mem_image::MemoryImage;
+pub use program::{Program, StaticUop};
+pub use req::{AccessKind, MemReq, ReqId, ReqTimeline, Requester};
+pub use rng::seeded_rng;
+pub use stats::{CoreStats, EmcStats, LatencyStat, MemStats, RingStats, Stats};
+pub use uop::{BranchCond, Reg, UopKind, NUM_ARCH_REGS};
+
+/// A simulation cycle count (core clock domain unless stated otherwise).
+pub type Cycle = u64;
+
+/// Identifier of a core in the simulated chip (0-based).
+pub type CoreId = usize;

@@ -1,0 +1,34 @@
+//! Synthetic SPEC CPU2006-like workloads for the EMC reproduction.
+//!
+//! SPEC CPU2006 is proprietary, so the paper's benchmarks are modeled as
+//! parameterized synthetic kernels (see `DESIGN.md` §2 for the
+//! substitution argument). Each of the 29 benchmarks in Table 2 of the
+//! paper has a [`Profile`] tuned to land in the paper's published band for
+//! MPKI class, dependent-miss fraction (Figure 2) and chain length
+//! (Figure 6). [`build`] turns a profile into a real [`Workload`]: an
+//! executable program over an initialized memory image whose pointer
+//! chases produce genuine data-dependent misses.
+//!
+//! # Example
+//!
+//! ```
+//! use emc_workloads::{build, mix_by_name, Benchmark};
+//!
+//! // The paper's H4 workload: mcf+sphinx3+soplex+libquantum.
+//! let mix = mix_by_name("H4").unwrap();
+//! assert_eq!(mix[0], Benchmark::Mcf);
+//! let w = build(mix[0], 0, 1000);
+//! assert_eq!(w.bench, Benchmark::Mcf);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod profiles;
+
+pub use gen::{
+    build, build_default, Workload, CHASE_BASE, PAYLOAD_BASE, RANDOM_BASE, SPILL_BASE,
+    STREAM_BASE, STREAM_WB_OFFSET,
+};
+pub use profiles::{mix_by_name, Benchmark, Profile, DEFAULT_ITERATIONS, QUAD_MIXES};

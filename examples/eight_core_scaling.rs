@@ -1,0 +1,49 @@
+//! Multi-memory-controller scaling (paper §4.4, §6.2, Figure 11): an
+//! eight-core system with one EMC versus two distributed EMCs. With two
+//! controllers, cross-channel dependent misses are issued EMC→EMC
+//! directly, cutting the home core out of the path.
+//!
+//! Run with: `cargo run --release --example eight_core_scaling`
+
+use emc_repro::{build, mix_by_name, Benchmark, SystemConfig};
+use emc_sim::{cycle_cap, System};
+use emc_types::rng::substream;
+
+fn run8(cfg: SystemConfig, benches: &[Benchmark], budget: u64) -> emc_repro::Stats {
+    let workloads = benches
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| build(b, substream(cfg.seed, i as u64), 50_000_000))
+        .collect();
+    let mut sys = System::new(cfg, workloads);
+    sys.run_with_warmup(budget / 2, budget, cycle_cap(budget))
+}
+
+fn main() {
+    let budget = 15_000;
+    // Eight-core workloads are two copies of a quad mix (paper §5).
+    let quad = mix_by_name("H9").expect("table 3 mix");
+    let mut benches = quad.to_vec();
+    benches.extend_from_slice(&quad);
+    println!("workload: 2 x H9 = {:?}\n", benches.iter().map(|b| b.name()).collect::<Vec<_>>());
+
+    for (label, cfg) in [
+        ("8-core, 1 MC (Figure 11a)", SystemConfig::eight_core_1mc()),
+        ("8-core, 2 MC (Figure 11b)", SystemConfig::eight_core_2mc()),
+    ] {
+        let base = run8(cfg.clone().without_emc(), &benches, budget);
+        let emc = run8(cfg.clone(), &benches, budget);
+        let base_ipcs: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
+        let ws = emc.weighted_speedup(&base_ipcs) / 8.0;
+        println!("{label}");
+        println!("  EMC contexts: {} per controller x {} controller(s)",
+            cfg.emc.contexts, cfg.memory_controllers);
+        println!("  weighted speedup with EMC: {ws:.3}");
+        println!("  chains executed: {}", emc.emc.chains_executed);
+        println!(
+            "  miss latency: core {:.0} vs EMC {:.0} cycles\n",
+            emc.mem.core_miss_latency.mean(),
+            emc.mem.emc_miss_latency.mean()
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: simulate the paper's H4 workload (mcf + sphinx3 + soplex +
+//! libquantum) on the Table-1 quad-core, with and without the Enhanced
+//! Memory Controller, and print the headline comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use emc_repro::{mix_by_name, run_mix, SystemConfig};
+
+fn main() {
+    let budget = 30_000; // retired uops per core (scaled-down SimPoint)
+    let mix = mix_by_name("H4").expect("H4 is a Table-3 mix");
+    println!("workload H4: {:?}", mix.map(|b| b.name()));
+
+    println!("running baseline (no EMC)...");
+    let base = run_mix(SystemConfig::quad_core().without_emc(), &mix, budget);
+    println!("running with the Enhanced Memory Controller...");
+    let emc = run_mix(SystemConfig::quad_core(), &mix, budget);
+
+    println!();
+    println!("{:<12} {:>10} {:>10}", "core", "base IPC", "EMC IPC");
+    for (bench, (b, e)) in mix.iter().zip(base.cores.iter().zip(&emc.cores)) {
+        println!("{:<12} {:>10.3} {:>10.3}", bench.name(), b.ipc(), e.ipc());
+    }
+    let base_ipcs: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
+    let ws = emc.weighted_speedup(&base_ipcs) / 4.0;
+    println!();
+    println!("weighted speedup with EMC: {ws:.3}");
+    println!(
+        "chains executed: {}   mean chain length: {:.1} uops",
+        emc.emc.chains_executed,
+        emc.mean_chain_uops()
+    );
+    println!(
+        "LLC-miss latency: core-issued {:.0} cycles, EMC-issued {:.0} cycles ({:.0}% lower)",
+        emc.mem.core_miss_latency.mean(),
+        emc.mem.emc_miss_latency.mean(),
+        100.0 * (1.0 - emc.mem.emc_miss_latency.mean() / emc.mem.core_miss_latency.mean())
+    );
+}

@@ -1,0 +1,114 @@
+//! Cross-crate invariants: bit-identical reruns, architectural
+//! transparency of the EMC, and energy-model coherence.
+
+use emc_repro::{
+    build, estimate_default, mix_by_name, run_mix, Benchmark, PrefetcherKind, SystemConfig,
+};
+use emc_sim::{cycle_cap, System};
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let mix = mix_by_name("H7").unwrap();
+    let cfg = SystemConfig::quad_core().with_prefetcher(PrefetcherKind::Ghb);
+    let a = run_mix(cfg.clone(), &mix, 5_000);
+    let b = run_mix(cfg, &mix, 5_000);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.mem.dram_reads, b.mem.dram_reads);
+    assert_eq!(a.mem.row_hits, b.mem.row_hits);
+    assert_eq!(a.ring.data_msgs, b.ring.data_msgs);
+    assert_eq!(a.emc.uops_executed, b.emc.uops_executed);
+    assert_eq!(a.prefetch.issued, b.prefetch.issued);
+    for (ca, cb) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(ca.retired_uops, cb.retired_uops);
+        assert_eq!(ca.llc_misses, cb.llc_misses);
+        assert_eq!(ca.chains_sent, cb.chains_sent);
+    }
+}
+
+#[test]
+fn different_seeds_change_timing_not_sanity() {
+    let mix = mix_by_name("H2").unwrap();
+    let mut cfg = SystemConfig::quad_core();
+    cfg.seed = 7;
+    let a = run_mix(cfg.clone(), &mix, 4_000);
+    cfg.seed = 8;
+    let b = run_mix(cfg, &mix, 4_000);
+    // Different memory layouts → different cycle counts, same sanity.
+    assert_ne!(a.cycles, b.cycles);
+    for s in [&a, &b] {
+        for c in &s.cores {
+            assert!(c.retired_uops >= 4_000);
+        }
+    }
+}
+
+/// Run a small workload to completion and return (retired, final regs,
+/// spill memory words).
+fn run_to_completion(emc: bool, bench: Benchmark) -> (Vec<u64>, Vec<[u64; 16]>, Vec<u64>) {
+    let mut cfg = SystemConfig::quad_core();
+    cfg.emc.enabled = emc;
+    let workloads: Vec<_> = (0..4).map(|i| build(bench, 50 + i, 150)).collect();
+    let mut sys = System::new(cfg, workloads);
+    let stats = sys.run(u64::MAX, cycle_cap(100_000));
+    let retired = stats.cores.iter().map(|c| c.retired_uops).collect();
+    let regs = (0..4).map(|c| *sys.core(c).committed_regs()).collect();
+    let mem = (0..4)
+        .flat_map(|c| {
+            (0..8).map(move |k| (c, k))
+        })
+        .map(|(c, k)| {
+            sys.core(c).mem.read_u64(emc_types::Addr(emc_workloads::SPILL_BASE + k * 8))
+        })
+        .collect();
+    (retired, regs, mem)
+}
+
+#[test]
+fn emc_is_architecturally_transparent_for_pointer_chasers() {
+    for bench in [Benchmark::Mcf, Benchmark::Omnetpp] {
+        let (r0, g0, m0) = run_to_completion(false, bench);
+        let (r1, g1, m1) = run_to_completion(true, bench);
+        assert_eq!(r0, r1, "{bench}: retired-uop counts must match");
+        assert_eq!(g0, g1, "{bench}: final register state must match");
+        assert_eq!(m0, m1, "{bench}: final memory state must match");
+    }
+}
+
+#[test]
+fn energy_model_tracks_simulation_outputs() {
+    let mix = mix_by_name("H5").unwrap();
+    let cfg = SystemConfig::quad_core().without_emc();
+    let stats = run_mix(cfg.clone(), &mix, 5_000);
+    let e = estimate_default(&stats, &cfg);
+    assert!(e.total_j() > 0.0);
+    assert!(e.dram_dynamic_j > 0.0, "memory-intensive mix must burn DRAM energy");
+    assert!(e.chip_static_j > 0.0);
+    // Prefetching increases DRAM dynamic energy (Figure 23's mechanism).
+    let pf_cfg =
+        SystemConfig::quad_core().without_emc().with_prefetcher(PrefetcherKind::MarkovStream);
+    let pf_stats = run_mix(pf_cfg.clone(), &mix, 5_000);
+    let pe = estimate_default(&pf_stats, &pf_cfg);
+    assert!(
+        pf_stats.mem.dram_traffic() > stats.mem.dram_traffic(),
+        "Markov+stream must add DRAM traffic"
+    );
+    assert!(pe.dram_dynamic_j > e.dram_dynamic_j);
+}
+
+#[test]
+fn eight_core_dual_mc_is_transparent_too() {
+    let mk = |emc: bool| {
+        let mut cfg = SystemConfig::eight_core_2mc();
+        cfg.emc.enabled = emc;
+        let workloads: Vec<_> = (0..8).map(|i| build(Benchmark::Mcf, 90 + i, 80)).collect();
+        let mut sys = System::new(cfg, workloads);
+        let stats = sys.run(u64::MAX, cycle_cap(100_000));
+        let retired: Vec<u64> = stats.cores.iter().map(|c| c.retired_uops).collect();
+        let regs: Vec<[u64; 16]> = (0..8).map(|c| *sys.core(c).committed_regs()).collect();
+        (retired, regs)
+    };
+    let (r0, g0) = mk(false);
+    let (r1, g1) = mk(true);
+    assert_eq!(r0, r1);
+    assert_eq!(g0, g1);
+}
