@@ -18,7 +18,8 @@ fn bench_fig1(c: &mut Criterion) {
                 SystemConfig::quad_core().without_emc(),
                 Benchmark::Mcf,
                 3_000,
-            );
+            )
+            .expect_completed();
             let dram = stats.mem.dram_service_latency.mean();
             let chip = stats.mem.on_chip_delay.mean();
             assert!(dram > 0.0, "misses must reach DRAM");

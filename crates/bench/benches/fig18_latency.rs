@@ -13,7 +13,8 @@ fn bench_fig18(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("omnetpp_x4_emc_vs_core_latency", |b| {
         b.iter(|| {
-            let stats = run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, 4_000);
+            let stats = run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, 4_000)
+                .expect_completed();
             let core = stats.mem.core_miss_latency.mean();
             let emc = stats.mem.emc_miss_latency.mean();
             if emc > 0.0 && core > 0.0 {

@@ -18,7 +18,8 @@ fn bench_sim(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut sys =
-                    build_system(SystemConfig::quad_core(), &[bench, bench, bench, bench]);
+                    build_system(SystemConfig::quad_core(), &[bench, bench, bench, bench])
+                        .expect("build system");
                 std::hint::black_box(sys.run(2_000, cycle_cap(2_000)))
             });
         });

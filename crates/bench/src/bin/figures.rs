@@ -7,8 +7,8 @@
 //! per-core retired-uop budget (default 30000).
 
 use emc_bench::{
-    bar, config_grid, figure_budget, find, homog_grid, norm_weighted_speedup, par_map,
-    quad_grid, run_one_homog, run_one_mix, run_one_mix8, write_json, RunResult,
+    bar, config_grid, figure_budget, find, homog_grid, norm_weighted_speedup, par_map, quad_grid,
+    run_one_homog, run_one_mix, run_one_mix8, write_json, RunResult,
 };
 use emc_types::{PrefetcherKind, SystemConfig};
 use emc_workloads::{Benchmark, QUAD_MIXES};
@@ -105,7 +105,10 @@ fn header(title: &str) {
 fn tab1() {
     header("Table 1: system configuration");
     let c = SystemConfig::quad_core();
-    println!("{}", serde_json::to_string_pretty(&c).expect("serializable config"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&c).expect("serializable config")
+    );
 }
 
 fn tab2(budget: u64) {
@@ -117,10 +120,19 @@ fn tab2(budget: u64) {
     let mut rows: Vec<(String, f64, bool)> = jobs
         .iter()
         .zip(&runs)
-        .map(|(b, r)| (b.name().to_string(), r.stats.cores[0].mpki(), b.is_high_intensity()))
+        .map(|(b, r)| {
+            (
+                b.name().to_string(),
+                r.stats.cores[0].mpki(),
+                b.is_high_intensity(),
+            )
+        })
         .collect();
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-    println!("{:<12} {:>8}  {:<22} paper class", "benchmark", "MPKI", "measured class");
+    println!(
+        "{:<12} {:>8}  {:<22} paper class",
+        "benchmark", "MPKI", "measured class"
+    );
     let mut agree = 0;
     for (name, mpki, paper_high) in &rows {
         let measured_high = *mpki >= 10.0;
@@ -131,7 +143,11 @@ fn tab2(budget: u64) {
             "{:<12} {:>8.1}  {:<22} {}",
             name,
             mpki,
-            if measured_high { "high (MPKI >= 10)" } else { "low (MPKI < 10)" },
+            if measured_high {
+                "high (MPKI >= 10)"
+            } else {
+                "low (MPKI < 10)"
+            },
             if *paper_high { "high" } else { "low" },
         );
     }
@@ -172,7 +188,10 @@ fn fig1_2(budget: u64, ideal: bool) {
 
     if !ideal {
         header("Figure 1: DRAM latency vs on-chip delay of LLC misses (cycles)");
-        println!("{:<12} {:>8} {:>8} {:>8} {:>9}", "benchmark", "dram", "on-chip", "total", "on-chip%");
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>9}",
+            "benchmark", "dram", "on-chip", "total", "on-chip%"
+        );
         let mut out = Vec::new();
         for &i in &order {
             let m = &runs[i].stats.mem;
@@ -211,7 +230,11 @@ fn fig1_2(budget: u64, ideal: bool) {
         let dep = 100.0 * runs[i].stats.cores[0].dependent_miss_fraction();
         let base_ipc: f64 = runs[i].ipcs.iter().sum();
         let ideal_ipc: f64 = ideal_runs[i].ipcs.iter().sum();
-        let speedup = if base_ipc > 0.0 { 100.0 * (ideal_ipc / base_ipc - 1.0) } else { 0.0 };
+        let speedup = if base_ipc > 0.0 {
+            100.0 * (ideal_ipc / base_ipc - 1.0)
+        } else {
+            0.0
+        };
         println!("{:<12} {:>11.1}% {:>15.1}%", jobs[i].name(), dep, speedup);
         out.push((jobs[i].name(), dep, speedup));
     }
@@ -224,7 +247,11 @@ fn fig3(budget: u64) {
         "{:<12} {:>8} {:>8} {:>14}",
         "benchmark", "GHB", "Stream", "Markov+Stream"
     );
-    let pfs = [PrefetcherKind::Ghb, PrefetcherKind::Stream, PrefetcherKind::MarkovStream];
+    let pfs = [
+        PrefetcherKind::Ghb,
+        PrefetcherKind::Stream,
+        PrefetcherKind::MarkovStream,
+    ];
     let mut jobs = Vec::new();
     for b in Benchmark::HIGH_INTENSITY {
         for pf in pfs {
@@ -232,18 +259,30 @@ fn fig3(budget: u64) {
         }
     }
     let runs = par_map(jobs.clone(), move |(b, pf)| {
-        run_one_homog(b, SystemConfig::quad_core().without_emc().with_prefetcher(pf), budget)
+        run_one_homog(
+            b,
+            SystemConfig::quad_core().without_emc().with_prefetcher(pf),
+            budget,
+        )
     });
     let mut out = Vec::new();
     for (bi, b) in Benchmark::HIGH_INTENSITY.iter().enumerate() {
         let mut cov = [0.0f64; 3];
         for (pi, _) in pfs.iter().enumerate() {
             let r = &runs[bi * 3 + pi];
-            let covered: u64 =
-                r.stats.cores.iter().map(|c| c.dependent_misses_prefetched).sum();
+            let covered: u64 = r
+                .stats
+                .cores
+                .iter()
+                .map(|c| c.dependent_misses_prefetched)
+                .sum();
             let dep: u64 = r.stats.cores.iter().map(|c| c.dependent_llc_misses).sum();
             let total = covered + dep;
-            cov[pi] = if total == 0 { 0.0 } else { 100.0 * covered as f64 / total as f64 };
+            cov[pi] = if total == 0 {
+                0.0
+            } else {
+                100.0 * covered as f64 / total as f64
+            };
         }
         println!(
             "{:<12} {:>7.1}% {:>7.1}% {:>13.1}%",
@@ -267,7 +306,11 @@ fn fig6(budget: u64) {
     for (b, r) in jobs.iter().zip(&runs) {
         let pairs: u64 = r.stats.cores.iter().map(|c| c.dep_chain_pairs).sum();
         let sum: u64 = r.stats.cores.iter().map(|c| c.dep_chain_uop_sum).sum();
-        let mean = if pairs == 0 { 0.0 } else { sum as f64 / pairs as f64 };
+        let mean = if pairs == 0 {
+            0.0
+        } else {
+            sum as f64 / pairs as f64
+        };
         println!("{:<12} {:>6.2}", b.name(), mean);
         out.push((b.name(), mean));
     }
@@ -331,8 +374,10 @@ fn fig12(grid: &[RunResult]) {
 
 fn fig13(grid: &[RunResult]) {
     header("Figure 13: quad-core homogeneous workloads (4 copies each)");
-    let workloads: Vec<String> =
-        Benchmark::HIGH_INTENSITY.iter().map(|b| format!("{}x4", b.name())).collect();
+    let workloads: Vec<String> = Benchmark::HIGH_INTENSITY
+        .iter()
+        .map(|b| format!("{}x4", b.name()))
+        .collect();
     let rows = perf_rows(grid, &workloads);
     print_perf(&rows);
     write_json("fig13", &rows);
@@ -350,7 +395,9 @@ fn fig14(budget: u64) {
                 jobs.push((name, mix, c));
             }
         }
-        let grid = par_map(jobs, move |(name, mix, c)| run_one_mix8(name, mix, c, budget));
+        let grid = par_map(jobs, move |(name, mix, c)| {
+            run_one_mix8(name, mix, c, budget)
+        });
         println!("--- {label} ---");
         let workloads: Vec<String> = QUAD_MIXES.iter().map(|(n, _)| n.to_string()).collect();
         let rows = perf_rows(&grid, &workloads);
@@ -375,7 +422,12 @@ fn fig15(grid: &[RunResult]) {
     let mut out = Vec::new();
     for r in emc_runs(grid) {
         let f = r.stats.emc_miss_fraction();
-        println!("{:<5} {:>6.1}%  |{}|", r.workload, 100.0 * f, bar(f, 0.5, 40));
+        println!(
+            "{:<5} {:>6.1}%  |{}|",
+            r.workload,
+            100.0 * f,
+            bar(f, 0.5, 40)
+        );
         out.push((r.workload.clone(), f));
     }
     write_json("fig15", &out);
@@ -388,10 +440,12 @@ fn fig16(grid: &[RunResult]) {
         let base = find(grid, name, PrefetcherKind::None, false);
         let emc = find(grid, name, PrefetcherKind::None, true);
         let delta = emc.stats.mem.row_conflict_rate() - base.stats.mem.row_conflict_rate();
-        println!("{name:<5} {:>+7.2}% (base {:.1}%, EMC {:.1}%)",
+        println!(
+            "{name:<5} {:>+7.2}% (base {:.1}%, EMC {:.1}%)",
             100.0 * delta,
             100.0 * base.stats.mem.row_conflict_rate(),
-            100.0 * emc.stats.mem.row_conflict_rate());
+            100.0 * emc.stats.mem.row_conflict_rate()
+        );
         out.push((name, delta));
     }
     write_json("fig16", &out);
@@ -402,7 +456,12 @@ fn fig17(grid: &[RunResult]) {
     let mut out = Vec::new();
     for r in emc_runs(grid) {
         let h = r.stats.emc.dcache_hit_rate();
-        println!("{:<5} {:>6.1}%  |{}|", r.workload, 100.0 * h, bar(h, 0.6, 40));
+        println!(
+            "{:<5} {:>6.1}%  |{}|",
+            r.workload,
+            100.0 * h,
+            bar(h, 0.6, 40)
+        );
         out.push((r.workload.clone(), h));
     }
     write_json("fig17", &out);
@@ -460,20 +519,30 @@ fn fig19(grid: &[RunResult]) {
 
 fn fig21(grid: &[RunResult]) {
     header("Figure 21: % of EMC-generated misses covered when prefetching is on");
-    println!("{:<5} {:>8} {:>8} {:>14}", "mix", "GHB", "Stream", "Markov+Stream");
+    println!(
+        "{:<5} {:>8} {:>8} {:>14}",
+        "mix", "GHB", "Stream", "Markov+Stream"
+    );
     let mut out = Vec::new();
     for (name, _) in QUAD_MIXES {
         let nopf = find(grid, name, PrefetcherKind::None, true);
         let denom = nopf.stats.emc.llc_misses_generated.max(1) as f64;
         let mut cov = [0.0f64; 3];
-        for (i, pf) in [PrefetcherKind::Ghb, PrefetcherKind::Stream, PrefetcherKind::MarkovStream]
-            .into_iter()
-            .enumerate()
+        for (i, pf) in [
+            PrefetcherKind::Ghb,
+            PrefetcherKind::Stream,
+            PrefetcherKind::MarkovStream,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let r = find(grid, name, pf, true);
             cov[i] = 100.0 * r.stats.emc.requests_covered_by_prefetch as f64 / denom;
         }
-        println!("{name:<5} {:>7.1}% {:>7.1}% {:>13.1}%", cov[0], cov[1], cov[2]);
+        println!(
+            "{name:<5} {:>7.1}% {:>7.1}% {:>13.1}%",
+            cov[0], cov[1], cov[2]
+        );
         out.push((name, cov));
     }
     write_json("fig21", &out);
@@ -498,7 +567,11 @@ fn fig22(grid: &[RunResult]) {
         println!("chain-length distribution over H1-H10:");
         for (len, n) in hist.iter().enumerate().filter(|(_, n)| **n > 0) {
             let frac = *n as f64 / total as f64;
-            println!("  {len:>2} uops {:>5.1}%  |{}|", 100.0 * frac, bar(frac, 0.5, 30));
+            println!(
+                "  {len:>2} uops {:>5.1}%  |{}|",
+                100.0 * frac,
+                bar(frac, 0.5, 30)
+            );
         }
     }
     write_json("fig22", &out);
@@ -513,7 +586,16 @@ fn fig20(budget: u64) {
     // The paper averages H1-H10; we use three representative mixes to
     // bound runtime (override the budget env var for full sweeps).
     let mixes = ["H1", "H4", "H9"];
-    let geoms = [(1, 1), (1, 2), (1, 4), (2, 1), (2, 2), (2, 4), (4, 2), (4, 4)];
+    let geoms = [
+        (1, 1),
+        (1, 2),
+        (1, 4),
+        (2, 1),
+        (2, 2),
+        (2, 4),
+        (4, 2),
+        (4, 4),
+    ];
     let mut jobs = Vec::new();
     for (c, r) in geoms {
         for emc in [false, true] {
@@ -540,7 +622,10 @@ fn fig20(budget: u64) {
         s / mixes.len() as f64
     };
     let base = agg(1, 1, false);
-    println!("{:<8} {:>10} {:>10} {:>8}", "geometry", "no-EMC", "EMC", "EMC gain");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8}",
+        "geometry", "no-EMC", "EMC", "EMC gain"
+    );
     let mut out = Vec::new();
     for (c, r) in geoms {
         let b = agg(c, r, false) / base;
@@ -611,8 +696,10 @@ fn fig23(grid: &[RunResult]) {
 
 fn fig24(grid: &[RunResult]) {
     header("Figure 24: energy consumption, homogeneous workloads");
-    let workloads: Vec<String> =
-        Benchmark::HIGH_INTENSITY.iter().map(|b| format!("{}x4", b.name())).collect();
+    let workloads: Vec<String> = Benchmark::HIGH_INTENSITY
+        .iter()
+        .map(|b| format!("{}x4", b.name()))
+        .collect();
     energy_rows(grid, &workloads, "fig24");
 }
 
@@ -647,7 +734,11 @@ fn check(budget: u64) {
         emc_gain += norm_weighted_speedup(emc, &base.ipcs);
     }
     emc_gain /= mixes.len() as f64;
-    claim("emc_speedup", emc_gain > 1.02, format!("mean weighted speedup {emc_gain:.3}"));
+    claim(
+        "emc_speedup",
+        emc_gain > 1.02,
+        format!("mean weighted speedup {emc_gain:.3}"),
+    );
 
     // 2. EMC-issued misses are faster than core-issued ones.
     let mut c = 0.0;
@@ -657,7 +748,11 @@ fn check(budget: u64) {
         c += r.stats.mem.core_miss_latency.mean();
         e += r.stats.mem.emc_miss_latency.mean();
     }
-    claim("emc_latency", e < c, format!("core {:.0} vs EMC {:.0} cycles", c / 3.0, e / 3.0));
+    claim(
+        "emc_latency",
+        e < c,
+        format!("core {:.0} vs EMC {:.0} cycles", c / 3.0, e / 3.0),
+    );
 
     // 3. EMC saves energy; Markov+stream costs energy on chase mixes.
     let base = find(&grid, "H4", PrefetcherKind::None, false);
@@ -665,28 +760,43 @@ fn check(budget: u64) {
     let mk = find(&grid, "H4", PrefetcherKind::MarkovStream, false);
     let d_emc = emc.energy.percent_vs(&base.energy);
     let d_mk = mk.energy.percent_vs(&base.energy);
-    claim("energy_direction", d_emc < d_mk, format!("EMC {d_emc:+.1}% vs Markov+Stream {d_mk:+.1}%"));
+    claim(
+        "energy_direction",
+        d_emc < d_mk,
+        format!("EMC {d_emc:+.1}% vs Markov+Stream {d_mk:+.1}%"),
+    );
 
     // 4. EMC traffic overhead is far below the Markov prefetcher's.
     let t_base = base.stats.mem.dram_traffic() as f64;
     let t_emc = emc.stats.mem.dram_traffic() as f64 / t_base;
     let t_mk = mk.stats.mem.dram_traffic() as f64 / t_base;
-    claim("traffic", t_emc < t_mk, format!("EMC x{t_emc:.2} vs Markov+Stream x{t_mk:.2}"));
+    claim(
+        "traffic",
+        t_emc < t_mk,
+        format!("EMC x{t_emc:.2} vs Markov+Stream x{t_mk:.2}"),
+    );
 
     // 5. Chains are real and bounded.
     let mean_chain = emc.stats.mean_chain_uops();
     claim(
         "chains",
         emc.stats.emc.chains_executed > 0 && mean_chain > 2.0 && mean_chain <= 16.0,
-        format!("{} chains, {:.1} uops mean", emc.stats.emc.chains_executed, mean_chain),
+        format!(
+            "{} chains, {:.1} uops mean",
+            emc.stats.emc.chains_executed, mean_chain
+        ),
     );
 
     if failures.is_empty() {
-        println!("
-all checks passed");
+        println!(
+            "
+all checks passed"
+        );
     } else {
-        println!("
-FAILED: {failures:?}");
+        println!(
+            "
+FAILED: {failures:?}"
+        );
         std::process::exit(1);
     }
 }
@@ -734,9 +844,11 @@ fn ablation(budget: u64) {
     let mut out = Vec::new();
     for (l, r) in labels.iter().zip(&runs) {
         let ws = norm_weighted_speedup(r, &base.ipcs);
-        println!("{l:<16} {ws:>7.3}  (chains {} / rejected {})",
+        println!(
+            "{l:<16} {ws:>7.3}  (chains {} / rejected {})",
             r.stats.cores.iter().map(|c| c.chains_sent).sum::<u64>(),
-            r.stats.emc.chains_rejected_busy);
+            r.stats.emc.chains_rejected_busy
+        );
         out.push((l.clone(), ws));
     }
     write_json("ablation_design", &out);
@@ -747,7 +859,13 @@ fn ablation(budget: u64) {
         "bench", "runahead", "EMC", "both"
     );
     let mut out = Vec::new();
-    for b in [Benchmark::Mcf, Benchmark::Omnetpp, Benchmark::Soplex, Benchmark::Milc, Benchmark::Libquantum] {
+    for b in [
+        Benchmark::Mcf,
+        Benchmark::Omnetpp,
+        Benchmark::Soplex,
+        Benchmark::Milc,
+        Benchmark::Libquantum,
+    ] {
         let plain = run_one_homog(b, SystemConfig::quad_core().without_emc(), budget);
         let mut ra_cfg = SystemConfig::quad_core().without_emc();
         ra_cfg.core.runahead = true;
@@ -757,8 +875,10 @@ fn ablation(budget: u64) {
             vec![ra_cfg, SystemConfig::quad_core(), both_cfg],
             move |c| run_one_homog(b, c, budget),
         );
-        let ws: Vec<f64> =
-            variants.iter().map(|r| norm_weighted_speedup(r, &plain.ipcs)).collect();
+        let ws: Vec<f64> = variants
+            .iter()
+            .map(|r| norm_weighted_speedup(r, &plain.ipcs))
+            .collect();
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>10.3}",
             b.name(),
@@ -787,9 +907,19 @@ fn overhead(grid: &[RunResult]) {
         let c: u64 = emc.stats.cores.iter().map(|x| x.chains_sent).sum();
         chains += c;
         if c > 0 {
-            live_in += emc.stats.cores.iter().map(|x| x.chain_live_ins).sum::<u64>() as f64
+            live_in += emc
+                .stats
+                .cores
+                .iter()
+                .map(|x| x.chain_live_ins)
+                .sum::<u64>() as f64
                 / c as f64;
-            live_out += emc.stats.cores.iter().map(|x| x.chain_live_outs).sum::<u64>() as f64
+            live_out += emc
+                .stats
+                .cores
+                .iter()
+                .map(|x| x.chain_live_outs)
+                .sum::<u64>() as f64
                 / c as f64;
         }
         data_pct += 100.0
@@ -801,9 +931,24 @@ fn overhead(grid: &[RunResult]) {
             100.0 * emc.stats.ring.emc_data_msgs as f64 / emc.stats.ring.data_msgs.max(1) as f64;
     }
     println!("chains executed (total over mixes): {chains}");
-    println!("average live-ins per chain:  {:.1} (paper: 6.4)", live_in / n);
-    println!("average live-outs per chain: {:.1} (paper: 8.8)", live_out / n);
-    println!("data-ring message increase:  {:+.1}% (paper: +33%)", data_pct / n);
-    println!("control-ring message increase: {:+.1}% (paper: +7%)", ctrl_pct / n);
-    println!("EMC share of data messages:  {:.1}% (paper: 25%)", emc_data_share / n);
+    println!(
+        "average live-ins per chain:  {:.1} (paper: 6.4)",
+        live_in / n
+    );
+    println!(
+        "average live-outs per chain: {:.1} (paper: 8.8)",
+        live_out / n
+    );
+    println!(
+        "data-ring message increase:  {:+.1}% (paper: +33%)",
+        data_pct / n
+    );
+    println!(
+        "control-ring message increase: {:+.1}% (paper: +7%)",
+        ctrl_pct / n
+    );
+    println!(
+        "EMC share of data messages:  {:.1}% (paper: 25%)",
+        emc_data_share / n
+    );
 }

@@ -57,20 +57,20 @@ fn result_of(workload: String, cfg: &SystemConfig, stats: Stats) -> RunResult {
 
 /// Run one heterogeneous mix under `cfg`.
 pub fn run_one_mix(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> RunResult {
-    let stats = run_mix(cfg.clone(), &mix, budget);
+    let stats = run_mix(cfg.clone(), &mix, budget).expect_completed();
     result_of(name.to_string(), &cfg, stats)
 }
 
 /// Run one homogeneous workload (`cfg.cores` copies of `bench`).
 pub fn run_one_homog(bench: Benchmark, cfg: SystemConfig, budget: u64) -> RunResult {
-    let stats = run_homogeneous(cfg.clone(), bench, budget);
+    let stats = run_homogeneous(cfg.clone(), bench, budget).expect_completed();
     result_of(format!("{}x{}", bench.name(), cfg.cores), &cfg, stats)
 }
 
 /// Run one eight-core mix (two copies of a quad mix, §5).
 pub fn run_one_mix8(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> RunResult {
     let benches = eight_core_mix(mix);
-    let stats = run_mix(cfg.clone(), &benches, budget);
+    let stats = run_mix(cfg.clone(), &benches, budget).expect_completed();
     result_of(name.to_string(), &cfg, stats)
 }
 
@@ -105,7 +105,10 @@ where
     let jobs: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(jobs);
     let results = std::sync::Mutex::new(&mut out);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).min(4);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .min(4);
     crossbeam::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
@@ -145,7 +148,12 @@ pub fn homog_grid(budget: u64) -> Vec<RunResult> {
 }
 
 /// Find the run for (workload, prefetcher label, emc) in a grid.
-pub fn find<'a>(grid: &'a [RunResult], workload: &str, pf: PrefetcherKind, emc: bool) -> &'a RunResult {
+pub fn find<'a>(
+    grid: &'a [RunResult],
+    workload: &str,
+    pf: PrefetcherKind,
+    emc: bool,
+) -> &'a RunResult {
     grid.iter()
         .find(|r| r.workload == workload && r.prefetcher == pf.label() && r.emc == emc)
         .unwrap_or_else(|| panic!("missing run {workload}/{}/{emc}", pf.label()))
@@ -183,8 +191,7 @@ mod tests {
         let g = config_grid(SystemConfig::quad_core());
         assert_eq!(g.len(), 8);
         assert_eq!(g.iter().filter(|c| c.emc.enabled).count(), 4);
-        let labels: std::collections::HashSet<_> =
-            g.iter().map(|c| c.prefetcher.label()).collect();
+        let labels: std::collections::HashSet<_> = g.iter().map(|c| c.prefetcher.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 

@@ -39,7 +39,10 @@ pub struct Mshrs {
 impl Mshrs {
     /// Create an MSHR file with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Mshrs { entries: HashMap::new(), capacity }
+        Mshrs {
+            entries: HashMap::new(),
+            capacity,
+        }
     }
 
     /// Number of distinct outstanding lines.

@@ -106,7 +106,8 @@ impl SetAssocCache {
     /// Probe without updating replacement state. Returns current flags on
     /// a hit.
     pub fn probe(&self, line: LineAddr) -> Option<LineFlags> {
-        self.find(line).map(|i| self.entries[i].expect("found").flags)
+        self.find(line)
+            .map(|i| self.entries[i].expect("found").flags)
     }
 
     /// Demand access. On a hit, updates LRU, applies `is_write` to the
@@ -121,7 +122,10 @@ impl SetAssocCache {
         let first_use_of_prefetch = e.flags.prefetched;
         e.flags.prefetched = false;
         e.flags.dirty |= is_write;
-        Some(HitInfo { first_use_of_prefetch, flags: e.flags })
+        Some(HitInfo {
+            first_use_of_prefetch,
+            flags: e.flags,
+        })
     }
 
     /// Fill `line` into the cache (end of a miss or a prefetch fill),
@@ -155,11 +159,18 @@ impl SetAssocCache {
                 _ => {}
             }
         }
-        let evicted = self.entries[victim].map(|e| Eviction { line: LineAddr(e.tag), flags: e.flags });
+        let evicted = self.entries[victim].map(|e| Eviction {
+            line: LineAddr(e.tag),
+            flags: e.flags,
+        });
         self.entries[victim] = Some(Entry {
             tag: line.0,
             last_used: self.tick,
-            flags: LineFlags { dirty, prefetched, emc_resident: false },
+            flags: LineFlags {
+                dirty,
+                prefetched,
+                emc_resident: false,
+            },
         });
         evicted
     }
@@ -188,7 +199,11 @@ impl SetAssocCache {
     pub fn set_emc_resident(&mut self, line: LineAddr, resident: bool) -> bool {
         match self.find(line) {
             Some(idx) => {
-                self.entries[idx].as_mut().expect("found").flags.emc_resident = resident;
+                self.entries[idx]
+                    .as_mut()
+                    .expect("found")
+                    .flags
+                    .emc_resident = resident;
                 true
             }
             None => false,
@@ -214,7 +229,12 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 2 sets x 2 ways of 64B lines = 256 B.
-        SetAssocCache::new(&CacheConfig { bytes: 256, ways: 2, latency: 1, mshrs: 4 })
+        SetAssocCache::new(&CacheConfig {
+            bytes: 256,
+            ways: 2,
+            latency: 1,
+            mshrs: 4,
+        })
     }
 
     #[test]
@@ -354,6 +374,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn zero_way_cache_rejected() {
-        SetAssocCache::new(&CacheConfig { bytes: 0, ways: 0, latency: 1, mshrs: 1 });
+        SetAssocCache::new(&CacheConfig {
+            bytes: 0,
+            ways: 0,
+            latency: 1,
+            mshrs: 1,
+        });
     }
 }

@@ -40,7 +40,10 @@ impl CircularTlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        CircularTlb { slots: vec![None; capacity], head: 0 }
+        CircularTlb {
+            slots: vec![None; capacity],
+            head: 0,
+        }
     }
 
     /// Whether `page`'s translation is resident.

@@ -218,7 +218,9 @@ pub fn generate_chain(
     while fi < frontier.len() && chain.uops.len() < cfg.uop_buffer {
         let producer = frontier[fi];
         fi += 1;
-        let Some(p) = core.entry(producer) else { continue };
+        let Some(p) = core.entry(producer) else {
+            continue;
+        };
         // Waiters of this producer, oldest first for determinism.
         let mut consumers: Vec<RobId> = p.waiters.iter().map(|&(c, _)| c).collect();
         consumers.sort_unstable();
@@ -269,7 +271,9 @@ pub fn generate_chain(
                 .enumerate()
                 .filter(|(i, src)| {
                     src.is_some()
-                        && !c.srcs[*i].producer.is_some_and(|pid| rrt.contains_key(&pid))
+                        && !c.srcs[*i]
+                            .producer
+                            .is_some_and(|pid| rrt.contains_key(&pid))
                 })
                 .count();
             let uses_imm = usize::from(c.uop.srcs[1].is_none() && !kind.is_branch());
@@ -336,7 +340,9 @@ pub fn generate_chain(
 /// window for a younger load with the same base register operand (same
 /// producer or same committed register) and displacement.
 fn is_register_spill(core: &Core, store_id: RobId) -> bool {
-    let Some(store) = core.entry(store_id) else { return false };
+    let Some(store) = core.entry(store_id) else {
+        return false;
+    };
     core.rob_iter().any(|e| {
         e.id > store_id
             && e.uop.kind == UopKind::Load
@@ -505,7 +511,11 @@ mod tests {
             .chain
             .uops
             .iter()
-            .find(|u| u.srcs.iter().any(|s| matches!(s, Some(ChainSrc::LiveIn(_)))))
+            .find(|u| {
+                u.srcs
+                    .iter()
+                    .any(|s| matches!(s, Some(ChainSrc::LiveIn(_))))
+            })
             .expect("some uop uses a live-in");
         let li = with_livein
             .srcs

@@ -45,6 +45,10 @@ pub enum AbortReason {
     /// The simulator detected a memory-disambiguation conflict with an
     /// older store at the home core (§4.3).
     Disambiguation,
+    /// The fault-injection layer killed the context mid-chain (timing-only
+    /// fault; the home core re-executes the chain exactly as for a TLB
+    /// miss, so architectural state is unaffected).
+    Injected,
 }
 
 /// Where an EMC load was routed (§4.3).
@@ -221,7 +225,9 @@ impl Emc {
             cfg: *cfg,
             contexts: (0..cfg.contexts).map(|_| None).collect(),
             dcache: SetAssocCache::new(&dcache_cfg),
-            tlbs: (0..cores).map(|_| CircularTlb::new(cfg.tlb_entries)).collect(),
+            tlbs: (0..cores)
+                .map(|_| CircularTlb::new(cfg.tlb_entries))
+                .collect(),
             miss_pred: (0..cores)
                 .map(|_| MissPredictor::new(cfg.miss_pred_entries, cfg.miss_pred_threshold))
                 .collect(),
@@ -273,7 +279,9 @@ impl Emc {
 
     /// Supply data for a load previously emitted as [`EmcEvent::Load`].
     pub fn complete_load(&mut self, ctx: usize, uop: usize, value: u64) {
-        let Some(c) = self.contexts[ctx].as_mut() else { return };
+        let Some(c) = self.contexts[ctx].as_mut() else {
+            return;
+        };
         if c.states[uop] != UopState::Issued {
             return;
         }
@@ -283,7 +291,11 @@ impl Emc {
             c.prf[d as usize] = value;
             c.prf_ready[d as usize] = true;
         }
-        c.outbox.push(ChainResult { rob: u.rob, value, store: None });
+        c.outbox.push(ChainResult {
+            rob: u.rob,
+            value,
+            store: None,
+        });
     }
 
     /// Abort a chain from the outside (memory-disambiguation conflict
@@ -304,7 +316,11 @@ impl Emc {
     /// Panics if the context is empty.
     pub fn take_finished(&mut self, ctx: usize) -> FinishedChain {
         let c = self.contexts[ctx].take().expect("context not empty");
-        FinishedChain { chain: c.chain, results: c.outbox, aborted: c.aborted }
+        FinishedChain {
+            chain: c.chain,
+            results: c.outbox,
+            aborted: c.aborted,
+        }
     }
 
     /// Drain the results completed in `ctx` since the last drain (called
@@ -357,7 +373,9 @@ impl Emc {
             if issued >= self.cfg.issue_width {
                 break;
             }
-            let Some(c) = self.contexts[ctx].as_ref() else { continue };
+            let Some(c) = self.contexts[ctx].as_ref() else {
+                continue;
+            };
             if !c.source_delivered || c.aborted.is_some() || _now < c.active_at {
                 continue;
             }
@@ -368,7 +386,10 @@ impl Emc {
             for i in ready {
                 issued += 1;
                 self.issue_uop(ctx, i, &mut events);
-                if self.contexts[ctx].as_ref().is_none_or(|c| c.aborted.is_some()) {
+                if self.contexts[ctx]
+                    .as_ref()
+                    .is_none_or(|c| c.aborted.is_some())
+                {
                     break;
                 }
             }
@@ -376,7 +397,9 @@ impl Emc {
         // Stream back results completed this cycle, then announce
         // terminal states.
         for ctx in 0..self.contexts.len() {
-            let Some(c) = self.contexts[ctx].as_mut() else { continue };
+            let Some(c) = self.contexts[ctx].as_mut() else {
+                continue;
+            };
             if !c.outbox.is_empty() && c.aborted.is_none() {
                 events.push(EmcEvent::Results { ctx });
             }
@@ -410,7 +433,11 @@ impl Emc {
                     self.stats.branch_mispredicts_detected += 1;
                     c.aborted = Some(AbortReason::BranchMispredict);
                 } else {
-                    c.outbox.push(ChainResult { rob: u.rob, value: u64::from(taken), store: None });
+                    c.outbox.push(ChainResult {
+                        rob: u.rob,
+                        value: u64::from(taken),
+                        store: None,
+                    });
                 }
             }
             UopKind::Store => {
@@ -422,7 +449,11 @@ impl Emc {
                 let addr = Addr(base.wrapping_add(u.imm));
                 c.store_buffer.push((addr, value));
                 c.states[i] = UopState::Done;
-                c.outbox.push(ChainResult { rob: u.rob, value, store: Some((addr, value)) });
+                c.outbox.push(ChainResult {
+                    rob: u.rob,
+                    value,
+                    store: Some((addr, value)),
+                });
                 self.stats.stores_executed += 1;
             }
             UopKind::Load => {
@@ -444,15 +475,17 @@ impl Emc {
                 }
                 self.stats.tlb_hits += 1;
                 // 2. In-chain store forwarding (register fills).
-                if let Some(&(_, v)) =
-                    c.store_buffer.iter().rev().find(|&&(a, _)| a == addr)
-                {
+                if let Some(&(_, v)) = c.store_buffer.iter().rev().find(|&&(a, _)| a == addr) {
                     c.states[i] = UopState::Done;
                     if let Some(d) = u.dst {
                         c.prf[d as usize] = v;
                         c.prf_ready[d as usize] = true;
                     }
-                    c.outbox.push(ChainResult { rob: u.rob, value: v, store: None });
+                    c.outbox.push(ChainResult {
+                        rob: u.rob,
+                        value: v,
+                        store: None,
+                    });
                     return;
                 }
                 // 3. EMC data cache.
@@ -487,7 +520,11 @@ impl Emc {
                     c.prf[d as usize] = value;
                     c.prf_ready[d as usize] = true;
                 }
-                c.outbox.push(ChainResult { rob: u.rob, value, store: None });
+                c.outbox.push(ChainResult {
+                    rob: u.rob,
+                    value,
+                    store: None,
+                });
             }
         }
     }
@@ -575,7 +612,12 @@ mod tests {
         assert!(emc.tick(0).is_empty());
         emc.deliver_source(ctx, 0x4000);
         let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
-        let EmcEvent::Load { vaddr, route, uop, .. } = ev else { unreachable!() };
+        let EmcEvent::Load {
+            vaddr, route, uop, ..
+        } = ev
+        else {
+            unreachable!()
+        };
         assert_eq!(vaddr, Addr(0x4008), "address = source value + 8");
         assert_eq!(route, LoadRoute::Llc, "cold predictor assumes LLC hit");
         let mut results = emc.drain_results(ctx); // the ADD's result
@@ -585,8 +627,22 @@ mod tests {
         results.extend(emc.take_finished(ctx).results);
         results.sort_by_key(|r| r.rob);
         assert_eq!(results.len(), 2);
-        assert_eq!(results[0], ChainResult { rob: 11, value: 0x4008, store: None });
-        assert_eq!(results[1], ChainResult { rob: 12, value: 777, store: None });
+        assert_eq!(
+            results[0],
+            ChainResult {
+                rob: 11,
+                value: 0x4008,
+                store: None
+            }
+        );
+        assert_eq!(
+            results[1],
+            ChainResult {
+                rob: 12,
+                value: 777,
+                store: None
+            }
+        );
         assert!(emc.has_free_context());
         assert_eq!(emc.stats.chains_executed, 1);
         assert_eq!(emc.stats.loads_executed, 1);
@@ -601,7 +657,9 @@ mod tests {
         let ctx = emc.start_chain(simple_chain(), 0).unwrap();
         emc.deliver_source(ctx, 0x4000);
         let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
-        let EmcEvent::Load { route, .. } = ev else { unreachable!() };
+        let EmcEvent::Load { route, .. } = ev else {
+            unreachable!()
+        };
         assert_eq!(route, LoadRoute::DirectDram);
         assert_eq!(emc.stats.direct_to_dram, 1);
     }
@@ -614,7 +672,9 @@ mod tests {
         let ctx = emc.start_chain(simple_chain(), 0).unwrap();
         emc.deliver_source(ctx, 0x4000);
         let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
-        let EmcEvent::Load { route, .. } = ev else { unreachable!() };
+        let EmcEvent::Load { route, .. } = ev else {
+            unreachable!()
+        };
         assert_eq!(route, LoadRoute::DcacheHit);
         assert_eq!(emc.stats.dcache_hit_rate(), 1.0);
     }
@@ -628,7 +688,9 @@ mod tests {
         let ctx = emc.start_chain(simple_chain(), 0).unwrap();
         emc.deliver_source(ctx, 0x4000);
         let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::Load { .. }), 10);
-        let EmcEvent::Load { route, .. } = ev else { unreachable!() };
+        let EmcEvent::Load { route, .. } = ev else {
+            unreachable!()
+        };
         assert_ne!(route, LoadRoute::DcacheHit);
     }
 
@@ -641,9 +703,10 @@ mod tests {
         chain.source_addr = Addr(0x100);
         let ctx = emc.start_chain(chain, 0).unwrap();
         emc.deliver_source(ctx, 0x4_0000_0000);
-        let ev =
-            drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
-        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
+        let EmcEvent::ChainAborted { reason, .. } = ev else {
+            unreachable!()
+        };
         assert_eq!(reason, AbortReason::TlbMiss);
         assert_eq!(emc.stats.tlb_misses, 1);
         let fin = emc.take_finished(ctx);
@@ -676,9 +739,10 @@ mod tests {
         };
         let ctx = emc.start_chain(chain, 0).unwrap();
         emc.deliver_source(ctx, 0); // value 0 → brz taken → mispredict
-        let ev =
-            drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
-        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
+        let EmcEvent::ChainAborted { reason, .. } = ev else {
+            unreachable!()
+        };
         assert_eq!(reason, AbortReason::BranchMispredict);
         assert_eq!(emc.stats.branch_mispredicts_detected, 1);
     }
@@ -824,16 +888,24 @@ mod tests {
     fn tlb_shootdown_invalidate_and_reinstall() {
         let mut emc = Emc::new(&cfg(), 4);
         let ctx = emc.start_chain(simple_chain(), 0).unwrap();
-        assert!(emc.tlb_resident(0, Addr(0x100)), "PTE installed with the chain");
+        assert!(
+            emc.tlb_resident(0, Addr(0x100)),
+            "PTE installed with the chain"
+        );
         // Shootdown removes it; chains touching that page now abort.
         assert!(emc.tlb_shootdown(0, Addr(0x100)));
         assert!(!emc.tlb_resident(0, Addr(0x100)));
-        assert!(!emc.tlb_shootdown(0, Addr(0x100)), "second shootdown is a miss");
+        assert!(
+            !emc.tlb_shootdown(0, Addr(0x100)),
+            "second shootdown is a miss"
+        );
         // The running chain's next load now TLB-misses and aborts — the
         // §4.1.4 behavior the shootdown machinery must preserve.
         emc.deliver_source(ctx, 0x4000);
         let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
-        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        let EmcEvent::ChainAborted { reason, .. } = ev else {
+            unreachable!()
+        };
         assert_eq!(reason, AbortReason::TlbMiss);
         emc.take_finished(ctx);
         // A later chain reinstalls the PTE (it ships with the chain).
@@ -849,9 +921,10 @@ mod tests {
         let ctx = emc.start_chain(simple_chain(), 0).unwrap();
         emc.deliver_source(ctx, 0x4000);
         emc.force_abort(ctx, AbortReason::Disambiguation);
-        let ev =
-            drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
-        let EmcEvent::ChainAborted { reason, .. } = ev else { unreachable!() };
+        let ev = drive_until_event(&mut emc, |e| matches!(e, EmcEvent::ChainAborted { .. }), 10);
+        let EmcEvent::ChainAborted { reason, .. } = ev else {
+            unreachable!()
+        };
         assert_eq!(reason, AbortReason::Disambiguation);
     }
 }

@@ -56,9 +56,8 @@ fn arb_body_uop() -> impl Strategy<Value = StaticUop> {
             StaticUop::alu(kind, Reg(d), Reg(a), None, imm)
         }),
         (reg.clone(), reg.clone()).prop_map(|(d, a)| StaticUop::load(Reg(d), Reg(a), 8)),
-        (reg.clone(), reg.clone()).prop_map(|(d, a)| {
-            StaticUop::alu(UopKind::FpAdd, Reg(d), Reg(a), None, 0)
-        }),
+        (reg.clone(), reg.clone())
+            .prop_map(|(d, a)| { StaticUop::alu(UopKind::FpAdd, Reg(d), Reg(a), None, 0) }),
         (reg.clone(), reg.clone()).prop_map(|(b, v)| StaticUop::store(Reg(b), Reg(v), 16)),
     ]
 }

@@ -84,7 +84,10 @@ impl HybridPredictor {
         let use_gshare = strong(self.chooser[self.pc_idx(pc)]);
         let taken = if use_gshare { g } else { b };
         self.history = (self.history << 1) | u64::from(taken);
-        PredictInfo { taken, history: checkpoint }
+        PredictInfo {
+            taken,
+            history: checkpoint,
+        }
     }
 
     /// Train on the resolved outcome. On a misprediction, repairs global

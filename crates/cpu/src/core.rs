@@ -44,7 +44,13 @@ pub struct SrcOp {
 
 impl SrcOp {
     fn absent() -> Self {
-        SrcOp { value: Some(0), producer: None, taint: false, depth: 0, inv: false }
+        SrcOp {
+            value: Some(0),
+            producer: None,
+            taint: false,
+            depth: 0,
+            inv: false,
+        }
     }
 
     /// Whether the operand's value is available.
@@ -337,7 +343,13 @@ impl Core {
             e.llc_miss = true;
             let src_taint = e.srcs.iter().any(|s| s.taint);
             if src_taint {
-                let depth = e.srcs.iter().filter(|s| s.taint).map(|s| s.depth).max().unwrap_or(0);
+                let depth = e
+                    .srcs
+                    .iter()
+                    .filter(|s| s.taint)
+                    .map(|s| s.depth)
+                    .max()
+                    .unwrap_or(0);
                 record = Some((true, depth));
             }
         }
@@ -360,7 +372,8 @@ impl Core {
 
     /// Whether this load is data-dependent on an in-flight LLC miss.
     pub fn load_is_dependent(&self, id: RobId) -> bool {
-        self.entry(id).is_some_and(|e| e.srcs.iter().any(|s| s.taint))
+        self.entry(id)
+            .is_some_and(|e| e.srcs.iter().any(|s| s.taint))
     }
 
     /// Complete an outstanding load issued to the memory system. Ignored
@@ -414,7 +427,9 @@ impl Core {
     pub fn unmark_remote(&mut self, ids: &[RobId]) {
         for &id in ids {
             let ready = {
-                let Some(e) = self.entry_mut(id) else { continue };
+                let Some(e) = self.entry_mut(id) else {
+                    continue;
+                };
                 if !e.remote {
                     continue;
                 }
@@ -603,7 +618,13 @@ impl Core {
                     // ALU: taint/depth were computed at issue.
                 }
             }
-            (e.result, e.tainted, e.chain_depth, e.inv, std::mem::take(&mut e.waiters))
+            (
+                e.result,
+                e.tainted,
+                e.chain_depth,
+                e.inv,
+                std::mem::take(&mut e.waiters),
+            )
         };
         let now = _now;
         for (consumer, slot) in waiters {
@@ -647,7 +668,9 @@ impl Core {
         let mut issued = 0;
         let mut skipped: Vec<RobId> = Vec::new();
         while issued < self.cfg.issue_width {
-            let Some(&id) = self.ready.iter().next() else { break };
+            let Some(&id) = self.ready.iter().next() else {
+                break;
+            };
             self.ready.remove(&id);
             let Some(e) = self.entry(id) else { continue };
             debug_assert_eq!(e.state, EntryState::Waiting);
@@ -833,10 +856,9 @@ impl Core {
             let e = self.rob.pop_back().expect("back exists");
             self.ready.remove(&e.id);
             self.unresolved_stores.remove(&e.id);
-            if e.uop.kind == UopKind::Store
-                && self.store_ids.back() == Some(&e.id) {
-                    self.store_ids.pop_back();
-                }
+            if e.uop.kind == UopKind::Store && self.store_ids.back() == Some(&e.id) {
+                self.store_ids.pop_back();
+            }
             if e.state == EntryState::Waiting {
                 self.waiting_count -= 1;
             }
@@ -846,8 +868,7 @@ impl Core {
         }
         // Rebuild the rename table from the surviving window.
         self.rename = [None; NUM_ARCH_REGS];
-        let ids: Vec<(RobId, Option<Reg>)> =
-            self.rob.iter().map(|e| (e.id, e.uop.dst)).collect();
+        let ids: Vec<(RobId, Option<Reg>)> = self.rob.iter().map(|e| (e.id, e.uop.dst)).collect();
         for (eid, dst) in ids {
             if let Some(d) = dst {
                 self.rename[d.idx()] = Some(eid);
@@ -864,9 +885,7 @@ impl Core {
                 self.program_done = true;
                 break;
             }
-            if self.rob.len() >= self.cfg.rob_entries
-                || self.waiting_count >= self.cfg.rs_entries
-            {
+            if self.rob.len() >= self.cfg.rob_entries || self.waiting_count >= self.cfg.rs_entries {
                 break;
             }
             let uop = self.program.uops[self.fetch_idx];
@@ -1051,7 +1070,11 @@ mod tests {
         assert!(!expect.capped);
         let core = run_core(program, mem, mem_lat, 10_000_000);
         assert!(core.finished_at().is_some(), "core did not finish");
-        assert_eq!(core.committed_regs(), &expect.regs, "architectural mismatch");
+        assert_eq!(
+            core.committed_regs(),
+            &expect.regs,
+            "architectural mismatch"
+        );
         core
     }
 
@@ -1152,7 +1175,11 @@ mod tests {
             0x8000,
         );
         let core = check_against_reference(p, mem, 200);
-        assert_eq!(core.committed_regs()[0], 0x1000, "12 steps returns to start");
+        assert_eq!(
+            core.committed_regs()[0],
+            0x1000,
+            "12 steps returns to start"
+        );
     }
 
     #[test]
@@ -1250,7 +1277,10 @@ mod tests {
         }
         assert!(core.finished_at().is_some());
         assert_eq!(core.stats.dependent_llc_misses, 1);
-        assert_eq!(core.stats.dep_chain_uop_sum, 1, "one ALU op (the ADD) between the loads");
+        assert_eq!(
+            core.stats.dep_chain_uop_sum, 1,
+            "one ALU op (the ADD) between the loads"
+        );
     }
 
     #[test]
@@ -1352,7 +1382,10 @@ mod tests {
     fn rs_capacity_limits_window() {
         // With a 4-entry RS, no more than 4 unissued uops may be in
         // flight even though the ROB is large.
-        let cfg = CoreConfig { rs_entries: 4, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            rs_entries: 4,
+            ..CoreConfig::default()
+        };
         // A long chain of dependent adds behind a slow load keeps
         // everything unissued.
         let mut uops = vec![

@@ -11,13 +11,12 @@ use std::sync::Arc;
 
 /// Run the core to completion with a deterministic pseudo-random memory
 /// latency schedule derived from `lat_seed`.
-fn run_core(
-    program: &Program,
-    mem: &MemoryImage,
-    lat_seed: u64,
-    max_cycles: u64,
-) -> Option<Core> {
-    let mut core = Core::new(&CoreConfig::default(), Arc::new(program.clone()), mem.clone());
+fn run_core(program: &Program, mem: &MemoryImage, lat_seed: u64, max_cycles: u64) -> Option<Core> {
+    let mut core = Core::new(
+        &CoreConfig::default(),
+        Arc::new(program.clone()),
+        mem.clone(),
+    );
     let mut events = Vec::new();
     let mut pending: Vec<(u64, u64)> = Vec::new();
     let mut state = lat_seed | 1;
@@ -74,20 +73,23 @@ fn arb_uop(max_target: u32) -> impl Strategy<Value = StaticUop> {
             StaticUop::alu(UopKind::IntAdd, Reg(d), Reg(a), Some(Reg(b)), 0)
         }),
         // mov imm
-        (reg.clone(), any::<u64>()).prop_map(|(d, imm)| StaticUop::mov_imm(Reg(d), imm % (1 << 20))),
+        (reg.clone(), any::<u64>())
+            .prop_map(|(d, imm)| StaticUop::mov_imm(Reg(d), imm % (1 << 20))),
         // load (address masked into a small window by construction: the
         // base register values stay small because immediates are small)
-        (reg.clone(), reg.clone(), 0u64..512).prop_map(|(d, b, off)| {
-            StaticUop::load(Reg(d), Reg(b), off * 8)
-        }),
+        (reg.clone(), reg.clone(), 0u64..512)
+            .prop_map(|(d, b, off)| { StaticUop::load(Reg(d), Reg(b), off * 8) }),
         // store
-        (reg.clone(), reg.clone(), 0u64..512).prop_map(|(b, v, off)| {
-            StaticUop::store(Reg(b), Reg(v), off * 8)
-        }),
+        (reg.clone(), reg.clone(), 0u64..512)
+            .prop_map(|(b, v, off)| { StaticUop::store(Reg(b), Reg(v), off * 8) }),
         // forward conditional branch
         (reg.clone(), any::<bool>()).prop_map(move |(r, z)| {
             StaticUop::branch(
-                if z { BranchCond::Zero } else { BranchCond::NotZero },
+                if z {
+                    BranchCond::Zero
+                } else {
+                    BranchCond::NotZero
+                },
                 Some(Reg(r)),
                 max_target,
             )
@@ -152,13 +154,24 @@ fn workload_programs_match_reference() {
         assert!(!expect.capped, "{bench}");
         let core = run_core(&w.program, &w.memory, 0xabcd, 20_000_000)
             .unwrap_or_else(|| panic!("{bench}: core did not finish"));
-        assert_eq!(core.committed_regs(), &expect.regs, "{bench} register mismatch");
-        assert_eq!(core.stats.retired_uops, expect.dyn_uops, "{bench} uop count");
+        assert_eq!(
+            core.committed_regs(),
+            &expect.regs,
+            "{bench} register mismatch"
+        );
+        assert_eq!(
+            core.stats.retired_uops, expect.dyn_uops,
+            "{bench} uop count"
+        );
         // Memory effects must match too: compare the pages the reference
         // run touched.
         for page in 0..16u64 {
             let a = emc_types::Addr(emc_workloads::SPILL_BASE + page * 8);
-            assert_eq!(core.mem.read_u64(a), ref_mem.read_u64(a), "{bench} mem at {a}");
+            assert_eq!(
+                core.mem.read_u64(a),
+                ref_mem.read_u64(a),
+                "{bench} mem at {a}"
+            );
         }
     }
 }

@@ -8,7 +8,10 @@ use emc_types::{Addr, BranchCond, CoreConfig, MemoryImage, Reg, UopKind};
 use std::sync::Arc;
 
 fn ra_cfg() -> CoreConfig {
-    CoreConfig { runahead: true, ..CoreConfig::default() }
+    CoreConfig {
+        runahead: true,
+        ..CoreConfig::default()
+    }
 }
 
 /// A loop of independent misses (xorshift addresses) — runahead's best
@@ -94,7 +97,13 @@ fn drive(cfg: &CoreConfig, p: Program, mem: MemoryImage, miss_lat: u64, max: u64
 #[test]
 fn runahead_speeds_up_independent_misses() {
     let p = independent_miss_loop(120);
-    let (_base, t0) = drive(&CoreConfig::default(), p.clone(), MemoryImage::new(), 300, 3_000_000);
+    let (_base, t0) = drive(
+        &CoreConfig::default(),
+        p.clone(),
+        MemoryImage::new(),
+        300,
+        3_000_000,
+    );
     let (ra, t1) = drive(&ra_cfg(), p, MemoryImage::new(), 300, 3_000_000);
     assert!(t0 > 0 && t1 > 0, "both runs finish");
     assert!(ra.stats.runahead_entries > 0, "runahead must engage");
@@ -109,7 +118,13 @@ fn runahead_speeds_up_independent_misses() {
 fn runahead_cannot_help_dependent_misses() {
     let mut mem = MemoryImage::new();
     let p = chase_loop(&mut mem, 512, 200);
-    let (_, t0) = drive(&CoreConfig::default(), p.clone(), mem.clone(), 300, 5_000_000);
+    let (_, t0) = drive(
+        &CoreConfig::default(),
+        p.clone(),
+        mem.clone(),
+        300,
+        5_000_000,
+    );
     let (_ra, t1) = drive(&ra_cfg(), p, mem, 300, 5_000_000);
     assert!(t0 > 0 && t1 > 0);
     // The chase's future loads are all INV during runahead: almost no
@@ -142,8 +157,14 @@ fn runahead_does_not_count_speculative_uops_as_retired() {
     let (ra, _) = drive(&ra_cfg(), p.clone(), MemoryImage::new(), 300, 3_000_000);
     let mut ref_mem = MemoryImage::new();
     let expect = run_reference(&p, &mut ref_mem, 10_000_000);
-    assert_eq!(ra.stats.retired_uops, expect.dyn_uops, "IPC must not be inflated");
-    assert!(ra.stats.runahead_uops > 0, "speculative uops counted separately");
+    assert_eq!(
+        ra.stats.retired_uops, expect.dyn_uops,
+        "IPC must not be inflated"
+    );
+    assert!(
+        ra.stats.runahead_uops > 0,
+        "speculative uops counted separately"
+    );
 }
 
 #[test]

@@ -150,7 +150,10 @@ impl Channel {
         // command one burst (tCCD = 4 bus clocks = t_burst) after this
         // one, so row-hit streams run at bus rate.
         b.free_at = cas_start + cfg.t_burst;
-        Issue { data_at: data_start + cfg.t_burst, outcome }
+        Issue {
+            data_at: data_start + cfg.t_burst,
+            outcome,
+        }
     }
 
     /// Earliest cycle the data bus is free (for diagnostics/tests).
@@ -168,7 +171,12 @@ mod tests {
     }
 
     fn loc(bank: usize, row: u64) -> Location {
-        Location { channel: 0, rank: 0, bank, row }
+        Location {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+        }
     }
 
     #[test]
@@ -196,7 +204,10 @@ mod tests {
         let conf = ch2.issue(loc(0, 9), false, later);
         assert_eq!(conf.outcome, RowOutcome::Conflict);
         let conf_lat = conf.data_at - later;
-        assert!(conf_lat > hit_lat, "conflict {conf_lat} must exceed hit {hit_lat}");
+        assert!(
+            conf_lat > hit_lat,
+            "conflict {conf_lat} must exceed hit {hit_lat}"
+        );
         assert_eq!(conf_lat - hit_lat, c.t_rp + c.t_rcd);
     }
 
@@ -260,6 +271,14 @@ mod tests {
         c.ranks_per_channel = 2;
         let ch = Channel::new(&c);
         assert_eq!(ch.bank_count(), 16);
-        assert_eq!(ch.bank_index(Location { channel: 0, rank: 1, bank: 3, row: 0 }), 11);
+        assert_eq!(
+            ch.bank_index(Location {
+                channel: 0,
+                rank: 1,
+                bank: 3,
+                row: 0
+            }),
+            11
+        );
     }
 }

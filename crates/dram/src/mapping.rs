@@ -46,7 +46,12 @@ pub fn map_line(line: LineAddr, cfg: &DramConfig) -> Location {
     let rank_stripped = col_stripped / cfg.banks_per_rank as u64;
     let rank = (rank_stripped % cfg.ranks_per_channel.max(1) as u64) as usize;
     let row = rank_stripped / cfg.ranks_per_channel.max(1) as u64;
-    Location { channel, rank, bank, row }
+    Location {
+        channel,
+        rank,
+        bank,
+        row,
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +91,10 @@ mod tests {
 
     #[test]
     fn ranks_decoded_before_rows() {
-        let cfg = DramConfig { ranks_per_channel: 4, ..Default::default() };
+        let cfg = DramConfig {
+            ranks_per_channel: 4,
+            ..Default::default()
+        };
         let lines_per_row = cfg.row_bytes / CACHE_LINE_BYTES;
         let chans = cfg.channels as u64;
         let per_rank = lines_per_row * chans * cfg.banks_per_rank as u64;
@@ -105,14 +113,25 @@ mod tests {
         let mut seen = HashSet::new();
         for l in 0..100_000u64 {
             let m = map_line(LineAddr(l), &cfg);
-            assert!(seen.insert((m.channel, m.rank, m.bank, m.row, l / (cfg.channels as u64) % (cfg.row_bytes / CACHE_LINE_BYTES))),
-                "collision at line {l}");
+            assert!(
+                seen.insert((
+                    m.channel,
+                    m.rank,
+                    m.bank,
+                    m.row,
+                    l / (cfg.channels as u64) % (cfg.row_bytes / CACHE_LINE_BYTES)
+                )),
+                "collision at line {l}"
+            );
         }
     }
 
     #[test]
     fn single_channel_mapping() {
-        let cfg = DramConfig { channels: 1, ..Default::default() };
+        let cfg = DramConfig {
+            channels: 1,
+            ..Default::default()
+        };
         for l in 0..1000u64 {
             assert_eq!(map_line(LineAddr(l), &cfg).channel, 0);
         }

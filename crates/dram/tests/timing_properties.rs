@@ -6,9 +6,14 @@ use emc_types::{DramConfig, LineAddr};
 use proptest::prelude::*;
 
 fn arb_loc(cfg: DramConfig) -> impl Strategy<Value = Location> {
-    (0..cfg.ranks_per_channel, 0..cfg.banks_per_rank, 0..64u64).prop_map(move |(rank, bank, row)| {
-        Location { channel: 0, rank, bank, row }
-    })
+    (0..cfg.ranks_per_channel, 0..cfg.banks_per_rank, 0..64u64).prop_map(
+        move |(rank, bank, row)| Location {
+            channel: 0,
+            rank,
+            bank,
+            row,
+        },
+    )
 }
 
 proptest! {

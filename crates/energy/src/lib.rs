@@ -154,8 +154,9 @@ pub fn estimate(stats: &Stats, cfg: &SystemConfig, p: &EnergyParams) -> EnergyBr
         // FP fraction is not tracked per-uop in stats; approximate from
         // the non-load/store/branch remainder at a fixed 15% FP share of
         // compute (the workloads' FP profiles dominate this number).
-        let compute =
-            c.retired_uops.saturating_sub(c.retired_loads + c.retired_stores + c.retired_branches);
+        let compute = c
+            .retired_uops
+            .saturating_sub(c.retired_loads + c.retired_stores + c.retired_branches);
         core_dynamic += compute as f64 * 0.15 * p.fp_extra_nj * nj;
         cache_dynamic += c.l1d_accesses as f64 * p.l1_access_nj * nj;
         cache_dynamic += c.llc_accesses as f64 * p.llc_access_nj * nj;
@@ -174,11 +175,9 @@ pub fn estimate(stats: &Stats, cfg: &SystemConfig, p: &EnergyParams) -> EnergyBr
         * nj;
 
     let llc_mb = cfg.cores as f64 * cfg.llc_slice.bytes as f64 / (1024.0 * 1024.0);
-    let mut chip_static_w =
-        cfg.cores as f64 * p.core_static_w + llc_mb * p.llc_static_w_per_mb;
+    let mut chip_static_w = cfg.cores as f64 * p.core_static_w + llc_mb * p.llc_static_w_per_mb;
     if cfg.emc.enabled {
-        chip_static_w +=
-            cfg.memory_controllers as f64 * p.emc_static_fraction * p.core_static_w;
+        chip_static_w += cfg.memory_controllers as f64 * p.emc_static_fraction * p.core_static_w;
     }
     let dram_static_w = cfg.dram.channels as f64 * p.dram_static_w_per_channel;
 

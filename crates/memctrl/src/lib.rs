@@ -17,7 +17,8 @@
 #![warn(missing_docs)]
 
 use emc_dram::{map_line, Channel, Location, RowOutcome};
-use emc_types::{AccessKind, Cycle, DramConfig, MemReq, MemStats};
+use emc_types::{AccessKind, Cycle, DramConfig, FaultPlan, MemReq, MemStats};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::collections::BinaryHeap;
 
 /// PAR-BS marking cap: maximum marked requests per (core, bank) per batch.
@@ -59,7 +60,10 @@ impl Eq for InFlight {}
 impl Ord for InFlight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on completion time (BinaryHeap is a max-heap).
-        other.data_at.cmp(&self.data_at).then(other.seq.cmp(&self.seq))
+        other
+            .data_at
+            .cmp(&self.data_at)
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -67,6 +71,17 @@ impl PartialOrd for InFlight {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Injected-fault state for one controller (ECC re-issues and
+/// backpressure storms), armed by [`MemoryController::set_fault_plan`].
+#[derive(Debug)]
+struct McFaults {
+    reissue_prob: f64,
+    reissue_penalty: u64,
+    storm_prob: f64,
+    storm_cycles: u64,
+    rng: SmallRng,
 }
 
 /// A (possibly enhanced) memory controller servicing a set of channels.
@@ -80,6 +95,12 @@ pub struct MemoryController {
     in_flight: BinaryHeap<InFlight>,
     next_seq: u64,
     queue_entries: usize,
+    faults: Option<McFaults>,
+    /// End cycle of the current backpressure storm (0 = none).
+    storm_until: Cycle,
+    /// Whether the last `tick` observed an active storm; enqueues
+    /// between ticks see this flag.
+    storm_active: bool,
 }
 
 impl MemoryController {
@@ -89,7 +110,10 @@ impl MemoryController {
     ///
     /// Panics if `owned_channels` is empty.
     pub fn new(cfg: &DramConfig, owned_channels: Vec<usize>) -> Self {
-        assert!(!owned_channels.is_empty(), "an MC must own at least one channel");
+        assert!(
+            !owned_channels.is_empty(),
+            "an MC must own at least one channel"
+        );
         let channels = owned_channels.iter().map(|_| Channel::new(cfg)).collect();
         MemoryController {
             cfg: *cfg,
@@ -99,6 +123,34 @@ impl MemoryController {
             in_flight: BinaryHeap::new(),
             next_seq: 0,
             queue_entries: cfg.queue_entries,
+            faults: None,
+            storm_until: 0,
+            storm_active: false,
+        }
+    }
+
+    /// Arm deterministic fault injection for this controller: DRAM
+    /// accesses are re-issued with a latency penalty (ECC-style) with
+    /// probability `plan.dram_reissue_prob` per issue, and queue-full
+    /// backpressure storms start with probability `plan.mc_storm_prob`
+    /// per cycle, shrinking the advertised queue capacity for
+    /// `plan.mc_storm_cycles`. Both are pure timing perturbations: the
+    /// data always arrives and rejected enqueues retry through the
+    /// existing back-pressure path. `seed` should be a
+    /// [`substream`](emc_types::rng::substream) of the system seed.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        if plan.enabled && (plan.dram_reissue_prob > 0.0 || plan.mc_storm_prob > 0.0) {
+            self.faults = Some(McFaults {
+                reissue_prob: plan.dram_reissue_prob,
+                reissue_penalty: plan.dram_reissue_penalty,
+                storm_prob: plan.mc_storm_prob,
+                storm_cycles: plan.mc_storm_cycles,
+                rng: SmallRng::seed_from_u64(seed),
+            });
+        } else {
+            self.faults = None;
+            self.storm_until = 0;
+            self.storm_active = false;
         }
     }
 
@@ -123,9 +175,16 @@ impl MemoryController {
     }
 
     /// Whether the queue is full (new requests must be retried later, a
-    /// real source of back-pressure in contended systems).
+    /// real source of back-pressure in contended systems). During an
+    /// injected backpressure storm the advertised capacity shrinks to a
+    /// quarter, forcing the retry path to absorb the burst.
     pub fn is_full(&self) -> bool {
-        self.queue.len() >= self.queue_entries
+        let cap = if self.storm_active {
+            (self.queue_entries / 4).max(1)
+        } else {
+            self.queue_entries
+        };
+        self.queue.len() >= cap
     }
 
     /// Enqueue a request at cycle `now`, stamping `mc_enqueue`.
@@ -144,7 +203,12 @@ impl MemoryController {
         debug_assert!(self.owns_channel(loc.channel), "request routed to wrong MC");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(QueueEntry { req, loc, marked: false, seq });
+        self.queue.push(QueueEntry {
+            req,
+            loc,
+            marked: false,
+            seq,
+        });
         Ok(())
     }
 
@@ -204,6 +268,13 @@ impl MemoryController {
     /// request per owned channel whose bank is ready, and return every
     /// request whose data burst completed by `now`.
     pub fn tick(&mut self, now: Cycle, stats: &mut MemStats) -> Vec<Completion> {
+        if let Some(f) = &mut self.faults {
+            if f.storm_prob > 0.0 && now >= self.storm_until && f.rng.gen_bool(f.storm_prob) {
+                self.storm_until = now + f.storm_cycles;
+                stats.backpressure_storms += 1;
+            }
+            self.storm_active = now < self.storm_until;
+        }
         self.form_batch();
         for ci in 0..self.channels.len() {
             let Some(qi) = self.pick(ci) else { continue };
@@ -214,8 +285,17 @@ impl MemoryController {
             let mut entry = self.queue.swap_remove(qi);
             let is_write = entry.req.kind == AccessKind::Write;
             let issue = self.channels[ci].issue(loc, is_write, now);
+            // Injected ECC fault: the burst is detected corrupt and
+            // re-issued, so the same data arrives a penalty later.
+            let mut data_at = issue.data_at;
+            if let Some(f) = &mut self.faults {
+                if f.reissue_prob > 0.0 && f.rng.gen_bool(f.reissue_prob) {
+                    data_at += f.reissue_penalty;
+                    stats.ecc_reissues += 1;
+                }
+            }
             entry.req.timeline.dram_issue = Some(now);
-            entry.req.timeline.dram_done = Some(issue.data_at);
+            entry.req.timeline.dram_done = Some(data_at);
             entry.req.timeline.row_hit = Some(issue.outcome == RowOutcome::Hit);
             match issue.outcome {
                 RowOutcome::Hit => stats.row_hits += 1,
@@ -236,7 +316,11 @@ impl MemoryController {
             }
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.in_flight.push(InFlight { data_at: issue.data_at, seq, req: entry.req });
+            self.in_flight.push(InFlight {
+                data_at,
+                seq,
+                req: entry.req,
+            });
         }
         let mut out = Vec::new();
         while let Some(top) = self.in_flight.peek() {
@@ -280,7 +364,10 @@ mod tests {
 
     /// One channel for deterministic single-channel tests.
     fn one_channel_cfg() -> DramConfig {
-        DramConfig { channels: 1, ..DramConfig::default() }
+        DramConfig {
+            channels: 1,
+            ..DramConfig::default()
+        }
     }
 
     #[test]
@@ -347,10 +434,12 @@ mod tests {
         // 10 requests from core 0 all to bank 0, alternating rows (no free
         // row hits), enqueued first.
         for i in 0..10 {
-            mc.enqueue(read(i, (i % 2) * lines_per_row * 8, 0, 0), 0).unwrap();
+            mc.enqueue(read(i, (i % 2) * lines_per_row * 8, 0, 0), 0)
+                .unwrap();
         }
         // One request from core 1 to the same bank, yet another row.
-        mc.enqueue(read(100, 2 * lines_per_row * 8 + 2, 1, 0), 0).unwrap();
+        mc.enqueue(read(100, 2 * lines_per_row * 8 + 2, 1, 0), 0)
+            .unwrap();
         let done = drain(&mut mc, &mut stats, 5000);
         assert_eq!(done.len(), 11);
         let pos = done.iter().position(|c| c.req.id == ReqId(100)).unwrap();
@@ -407,5 +496,90 @@ mod tests {
         mc.enqueue(read(1, 0, 0, 0), 0).unwrap();
         mc.tick(0, &mut stats);
         assert_eq!(mc.next_event(), Some(cfg.t_rcd + cfg.t_cas + cfg.t_burst));
+    }
+
+    #[test]
+    fn ecc_reissue_delays_completion_but_still_delivers() {
+        let cfg = one_channel_cfg();
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let plan = FaultPlan {
+            enabled: true,
+            dram_reissue_prob: 1.0, // every access re-issued
+            dram_reissue_penalty: 100,
+            ..FaultPlan::default()
+        };
+        mc.set_fault_plan(&plan, 3);
+        let mut stats = MemStats::default();
+        mc.enqueue(read(1, 0, 0, 0), 0).unwrap();
+        let done = drain(&mut mc, &mut stats, 500);
+        assert_eq!(done.len(), 1, "faulted access must still complete");
+        let nominal = cfg.t_rcd + cfg.t_cas + cfg.t_burst;
+        assert_eq!(done[0].req.timeline.dram_done, Some(nominal + 100));
+        assert_eq!(stats.ecc_reissues, 1);
+        assert!(mc.is_idle());
+    }
+
+    #[test]
+    fn backpressure_storm_shrinks_capacity_then_recovers() {
+        let mut cfg = one_channel_cfg();
+        cfg.queue_entries = 16;
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let plan = FaultPlan {
+            enabled: true,
+            mc_storm_prob: 1.0, // a storm starts immediately
+            mc_storm_cycles: 50,
+            ..FaultPlan::default()
+        };
+        mc.set_fault_plan(&plan, 9);
+        let mut stats = MemStats::default();
+        // Before any tick no storm has been observed yet.
+        assert!(!mc.is_full());
+        mc.tick(0, &mut stats);
+        assert!(stats.backpressure_storms >= 1);
+        // Storm active: effective capacity is 16/4 = 4.
+        for i in 0..4 {
+            assert!(
+                mc.enqueue(read(i, i, 0, 1), 1).is_ok(),
+                "req {i} within storm capacity"
+            );
+        }
+        assert!(
+            mc.enqueue(read(9, 9, 0, 1), 1).is_err(),
+            "storm rejects the 5th"
+        );
+        // Full nominal capacity never shrinks for already-queued work,
+        // and normal capacity returns once storms stop re-arming: run
+        // far past the storm window with injections disabled.
+        mc.set_fault_plan(&FaultPlan::default(), 0);
+        mc.tick(60, &mut stats);
+        assert!(!mc.is_full(), "capacity restored after the storm");
+    }
+
+    #[test]
+    fn fault_free_plan_leaves_controller_untouched() {
+        let cfg = one_channel_cfg();
+        let mk = |armed: bool| {
+            let mut mc = MemoryController::new(&cfg, vec![0]);
+            if armed {
+                mc.set_fault_plan(&FaultPlan::default(), 5);
+            }
+            let mut stats = MemStats::default();
+            for i in 0..8 {
+                mc.enqueue(read(i, i * 3, (i % 2) as usize, 0), 0).unwrap();
+            }
+            let done = drain(&mut mc, &mut stats, 2_000);
+            (
+                done.iter()
+                    .map(|c| (c.req.id, c.req.timeline.dram_done))
+                    .collect::<Vec<_>>(),
+                stats.ecc_reissues,
+                stats.backpressure_storms,
+            )
+        };
+        let (clean, r0, s0) = mk(false);
+        let (armed, r1, s1) = mk(true);
+        assert_eq!(clean, armed);
+        assert_eq!((r0, s0), (0, 0));
+        assert_eq!((r1, s1), (0, 0));
     }
 }

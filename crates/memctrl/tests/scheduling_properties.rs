@@ -8,7 +8,10 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn one_channel() -> DramConfig {
-    DramConfig { channels: 1, ..DramConfig::default() }
+    DramConfig {
+        channels: 1,
+        ..DramConfig::default()
+    }
 }
 
 proptest! {

@@ -95,8 +95,7 @@ impl FdpThrottle {
         if self.useful_window + self.useless_window < self.interval {
             return;
         }
-        let acc =
-            self.useful_window as f64 / (self.useful_window + self.useless_window) as f64;
+        let acc = self.useful_window as f64 / (self.useful_window + self.useless_window) as f64;
         if acc >= self.high {
             self.degree = (self.degree * 2).min(self.max_degree);
         } else if acc < self.low {
@@ -116,7 +115,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> PrefetchConfig {
-        PrefetchConfig { fdp_interval: 10, ..PrefetchConfig::default() }
+        PrefetchConfig {
+            fdp_interval: 10,
+            ..PrefetchConfig::default()
+        }
     }
 
     #[test]

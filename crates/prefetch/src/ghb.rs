@@ -104,7 +104,9 @@ impl GhbPrefetcher {
         let mut deltas = Vec::with_capacity(8);
         let mut walk = pos;
         while deltas.len() < 8 {
-            let (Some(a), Some(b)) = (self.at(walk), self.at(walk + 1)) else { break };
+            let (Some(a), Some(b)) = (self.at(walk), self.at(walk + 1)) else {
+                break;
+            };
             deltas.push(b as i64 - a as i64);
             walk += 1;
         }

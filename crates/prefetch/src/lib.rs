@@ -58,9 +58,15 @@ impl PrefetchEngine {
             .then(|| GhbPrefetcher::new(cfg.ghb_entries, cfg.ghb_index_entries));
         let markov = matches!(kind, PrefetcherKind::MarkovStream)
             .then(|| MarkovPrefetcher::new(cfg.markov_entries, cfg.markov_fanout));
-        let stride =
-            matches!(kind, PrefetcherKind::Stride).then(|| StridePrefetcher::new(256));
-        PrefetchEngine { kind, stream, ghb, markov, stride, fdp: FdpThrottle::new(cfg) }
+        let stride = matches!(kind, PrefetcherKind::Stride).then(|| StridePrefetcher::new(256));
+        PrefetchEngine {
+            kind,
+            stream,
+            ghb,
+            markov,
+            stride,
+            fdp: FdpThrottle::new(cfg),
+        }
     }
 
     /// Which configuration this engine implements.
@@ -208,7 +214,10 @@ mod tests {
             e.train(LineAddr(100 + 3 * k), 0x40);
         }
         let reqs = e.take_requests();
-        assert!(reqs.contains(&LineAddr(112)), "stride 3 continues: {reqs:?}");
+        assert!(
+            reqs.contains(&LineAddr(112)),
+            "stride 3 continues: {reqs:?}"
+        );
     }
 
     #[test]

@@ -98,9 +98,7 @@ impl StreamPrefetcher {
                 };
                 if self.streams.len() < self.max_streams {
                     self.streams.push(entry);
-                } else if let Some(victim) =
-                    self.streams.iter_mut().min_by_key(|s| s.lru)
-                {
+                } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.lru) {
                     *victim = entry;
                 }
             }
@@ -146,10 +144,16 @@ mod tests {
     fn ascending_stream_detected() {
         let mut pf = StreamPrefetcher::new(4, 32);
         pf.train(LineAddr(10));
-        assert!(pf.take_requests(8).is_empty(), "unconfirmed stream is silent");
+        assert!(
+            pf.take_requests(8).is_empty(),
+            "unconfirmed stream is silent"
+        );
         pf.train(LineAddr(11));
         let reqs = pf.take_requests(4);
-        assert_eq!(reqs, vec![LineAddr(12), LineAddr(13), LineAddr(14), LineAddr(15)]);
+        assert_eq!(
+            reqs,
+            vec![LineAddr(12), LineAddr(13), LineAddr(14), LineAddr(15)]
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use emc_types::{Cycle, RingConfig, RingStats};
+use emc_types::{Cycle, FaultPlan, RingConfig, RingStats};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 /// Which of the two rings a message travels on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +94,8 @@ pub struct Ring {
     cfg: RingConfig,
     // free_at[kind][direction][link]; link i connects stop i -> i+1 (cw).
     free_at: [[Vec<Cycle>; 2]; 2],
+    // Injected-delay fault state: (probability, extra cycles, rng).
+    faults: Option<(f64, u64, SmallRng)>,
 }
 
 impl Ring {
@@ -102,10 +105,25 @@ impl Ring {
         Ring {
             topo,
             cfg,
-            free_at: [
-                [links.clone(), links.clone()],
-                [links.clone(), links],
-            ],
+            free_at: [[links.clone(), links.clone()], [links.clone(), links]],
+            faults: None,
+        }
+    }
+
+    /// Arm deterministic fault injection: with probability
+    /// `plan.ring_delay_prob`, each message is delayed by
+    /// `plan.ring_delay_cycles` extra cycles (modeling a link-level
+    /// retry). `seed` should be a [`substream`](emc_types::rng::substream)
+    /// of the system seed so faulty runs are reproducible.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        if plan.enabled && plan.ring_delay_prob > 0.0 {
+            self.faults = Some((
+                plan.ring_delay_prob,
+                plan.ring_delay_cycles,
+                SmallRng::seed_from_u64(seed),
+            ));
+        } else {
+            self.faults = None;
         }
     }
 
@@ -153,9 +171,20 @@ impl Ring {
                 }
             }
         }
+        // Injected link-retry fault: the message re-traverses after a
+        // CRC-style error, costing extra cycles but always delivering —
+        // a pure timing perturbation.
+        let injected = self.faults.as_mut().map_or(0, |(prob, delay, rng)| {
+            if rng.gen_bool(*prob) {
+                stats.injected_delays += 1;
+                *delay
+            } else {
+                0
+            }
+        });
         if from == to {
             // Same-stop bypass (core to its own LLC slice).
-            return now + self.cfg.stop_cycles;
+            return now + self.cfg.stop_cycles + injected;
         }
         let (hops, dir) = self.route(from, to);
         stats.total_hops += hops as u64;
@@ -171,9 +200,13 @@ impl Ring {
             let free = &mut self.free_at[ki][dir][link];
             t = t.max(*free) + self.cfg.link_cycles;
             *free = t;
-            stop = if dir == 0 { (stop + 1) % n } else { (stop + n - 1) % n };
+            stop = if dir == 0 {
+                (stop + 1) % n
+            } else {
+                (stop + n - 1) % n
+            };
         }
-        t + self.cfg.stop_cycles
+        t + self.cfg.stop_cycles + injected
     }
 }
 
@@ -208,7 +241,11 @@ mod tests {
         let (mut r, mut s) = quad();
         let near = r.send(RingKind::Data, 0, 1, 0, false, &mut s);
         let far = r.send(RingKind::Data, 0, 2, 100, false, &mut s);
-        assert!(far - 100 > near, "2 hops beat 1 hop: {near} vs {}", far - 100);
+        assert!(
+            far - 100 > near,
+            "2 hops beat 1 hop: {near} vs {}",
+            far - 100
+        );
     }
 
     #[test]
@@ -272,5 +309,77 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_core_stop_panics() {
         Topology { cores: 4, mcs: 1 }.core_stop(4);
+    }
+
+    #[test]
+    fn fault_delays_are_additive_and_counted() {
+        let (mut clean, mut s0) = quad();
+        let (mut faulty, mut s1) = quad();
+        let plan = FaultPlan {
+            enabled: true,
+            ring_delay_prob: 1.0, // every message delayed
+            ring_delay_cycles: 7,
+            ..FaultPlan::default()
+        };
+        faulty.set_fault_plan(&plan, 42);
+        for (from, to) in [(0usize, 2usize), (3, 3), (1, 4)] {
+            let a = clean.send(RingKind::Data, from, to, 0, false, &mut s0);
+            let b = faulty.send(RingKind::Data, from, to, 0, false, &mut s1);
+            assert_eq!(b, a + 7, "{from}->{to}: delay must be exactly the penalty");
+        }
+        assert_eq!(s1.injected_delays, 3);
+        assert_eq!(s0.injected_delays, 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let plan = FaultPlan {
+            enabled: true,
+            ring_delay_prob: 0.3,
+            ring_delay_cycles: 11,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let (mut r, mut s) = quad();
+            r.set_fault_plan(&plan, 7);
+            let times: Vec<Cycle> = (0..100)
+                .map(|i| {
+                    r.send(
+                        RingKind::Control,
+                        i % 5,
+                        (i + 2) % 5,
+                        i as u64 * 10,
+                        false,
+                        &mut s,
+                    )
+                })
+                .collect();
+            (times, s.injected_delays)
+        };
+        let (t0, d0) = run();
+        let (t1, d1) = run();
+        assert_eq!(t0, t1);
+        assert_eq!(d0, d1);
+        assert!(d0 > 0, "with p=0.3 over 100 sends some faults must fire");
+        assert!(d0 < 100, "and not all of them");
+    }
+
+    #[test]
+    fn disabled_plan_leaves_timing_untouched() {
+        let (mut clean, mut s0) = quad();
+        let (mut armed, mut s1) = quad();
+        // enabled=false ⇒ set_fault_plan is a no-op even with prob set.
+        let plan = FaultPlan {
+            ring_delay_prob: 1.0,
+            ring_delay_cycles: 50,
+            ..FaultPlan::default()
+        };
+        armed.set_fault_plan(&plan, 1);
+        for i in 0..20u64 {
+            let a = clean.send(RingKind::Data, 0, 2, i * 3, false, &mut s0);
+            let b = armed.send(RingKind::Data, 0, 2, i * 3, false, &mut s1);
+            assert_eq!(a, b);
+        }
+        assert_eq!(s1.injected_delays, 0);
     }
 }

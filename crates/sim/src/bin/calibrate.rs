@@ -8,23 +8,37 @@ use emc_types::SystemConfig;
 use emc_workloads::Benchmark;
 
 fn main() {
-    println!("{:<12} {:>7} {:>6} {:>6} {:>7}", "bench", "MPKI", "IPC", "dep%", "stall%");
+    println!(
+        "{:<12} {:>7} {:>6} {:>6} {:>7}",
+        "bench", "MPKI", "IPC", "dep%", "stall%"
+    );
     for b in Benchmark::HIGH_INTENSITY {
-        let stats = run_homogeneous(SystemConfig::quad_core().without_emc(), b, 150_000);
+        let stats =
+            run_homogeneous(SystemConfig::quad_core().without_emc(), b, 150_000).expect_completed();
         let c = &stats.cores[0];
         println!(
             "{:<12} {:>7.1} {:>6.3} {:>6.1} {:>7.1}",
-            b.name(), c.mpki(), c.ipc(),
+            b.name(),
+            c.mpki(),
+            c.ipc(),
             100.0 * c.dependent_miss_fraction(),
             100.0 * c.full_window_stall_cycles as f64 / c.cycles as f64
         );
     }
-    for b in [Benchmark::Gcc, Benchmark::Perlbench, Benchmark::Leslie3d, Benchmark::Hmmer] {
-        let stats = run_homogeneous(SystemConfig::quad_core().without_emc(), b, 150_000);
+    for b in [
+        Benchmark::Gcc,
+        Benchmark::Perlbench,
+        Benchmark::Leslie3d,
+        Benchmark::Hmmer,
+    ] {
+        let stats =
+            run_homogeneous(SystemConfig::quad_core().without_emc(), b, 150_000).expect_completed();
         let c = &stats.cores[0];
         println!(
             "{:<12} {:>7.1} {:>6.3} {:>6.1} {:>7.1}",
-            b.name(), c.mpki(), c.ipc(),
+            b.name(),
+            c.mpki(),
+            c.ipc(),
             100.0 * c.dependent_miss_fraction(),
             100.0 * c.full_window_stall_cycles as f64 / c.cycles as f64
         );

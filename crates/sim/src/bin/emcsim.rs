@@ -3,21 +3,49 @@
 //! Usage:
 //!   emcsim [--mix H4 | --homog mcf] [--cores 4|8] [--mcs 1|2]
 //!          [--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]
-//!          [--budget N] [--seed N] [--json]
+//!          [--budget N] [--seed N] [--faults] [--json]
 //!
 //! Prints a human-readable report (or full JSON stats with `--json`).
+//!
+//! Exit codes: 0 on a completed run, 2 on bad arguments, 3 when the
+//! run wedged (the `WedgeReport` is printed to stderr), 4 when the
+//! cycle cap was hit before every core reached its budget.
 
-use emc_sim::{eight_core_mix, run_mix};
-use emc_types::{PrefetcherKind, SystemConfig};
+use emc_sim::{eight_core_mix, run_mix, RunOutcome};
+use emc_types::{FaultPlan, PrefetcherKind, SystemConfig};
 use emc_workloads::{mix_by_name, Benchmark};
 
-fn usage() -> ! {
+const EXIT_BAD_ARGS: i32 = 2;
+const EXIT_WEDGED: i32 = 3;
+const EXIT_CAP_HIT: i32 = 4;
+
+fn usage() {
     eprintln!(
         "usage: emcsim [--mix H1..H10 | --homog <bench>] [--cores 4|8] [--mcs 1|2]\n\
          \t[--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]\n\
-         \t[--budget N] [--seed N] [--json]"
+         \t[--budget N] [--seed N] [--faults] [--json]"
     );
-    std::process::exit(2)
+}
+
+/// Report a bad argument by name and exit with the bad-args code.
+fn bad_args(msg: &str) -> ! {
+    eprintln!("emcsim: error: {msg}");
+    usage();
+    std::process::exit(EXIT_BAD_ARGS)
+}
+
+/// The value following `flag`, or a bad-args exit naming the flag.
+fn require_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| bad_args(&format!("{flag} requires a value")))
+}
+
+/// Parse the value following `flag` as an integer, naming both the flag
+/// and the offending value on failure.
+fn parse_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let v = require_value(args, flag);
+    v.parse()
+        .unwrap_or_else(|_| bad_args(&format!("{flag}: expected a number, got {v:?}")))
 }
 
 fn main() {
@@ -31,65 +59,112 @@ fn main() {
     let mut runahead = false;
     let mut budget = 30_000u64;
     let mut seed = 0x00c0_ffeeu64;
+    let mut faults = false;
     let mut json = false;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--mix" => mix_name = args.next().unwrap_or_else(|| usage()),
-            "--homog" => homog = Some(args.next().unwrap_or_else(|| usage())),
-            "--cores" => cores = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--mcs" => mcs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--mix" => mix_name = require_value(&mut args, "--mix"),
+            "--homog" => homog = Some(require_value(&mut args, "--homog")),
+            "--cores" => cores = parse_value(&mut args, "--cores"),
+            "--mcs" => mcs = parse_value(&mut args, "--mcs"),
             "--prefetcher" => {
-                pf = match args.next().as_deref() {
-                    Some("none") => PrefetcherKind::None,
-                    Some("ghb") => PrefetcherKind::Ghb,
-                    Some("stream") => PrefetcherKind::Stream,
-                    Some("markov") => PrefetcherKind::MarkovStream,
-                    Some("stride") => PrefetcherKind::Stride,
-                    _ => usage(),
+                let v = require_value(&mut args, "--prefetcher");
+                pf = match v.as_str() {
+                    "none" => PrefetcherKind::None,
+                    "ghb" => PrefetcherKind::Ghb,
+                    "stream" => PrefetcherKind::Stream,
+                    "markov" => PrefetcherKind::MarkovStream,
+                    "stride" => PrefetcherKind::Stride,
+                    _ => bad_args(&format!(
+                        "--prefetcher: unknown kind {v:?} (expected none|ghb|stream|markov|stride)"
+                    )),
                 }
             }
             "--no-emc" => emc = false,
             "--runahead" => runahead = true,
-            "--budget" => budget = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--budget" => budget = parse_value(&mut args, "--budget"),
+            "--seed" => seed = parse_value(&mut args, "--seed"),
+            "--faults" => faults = true,
             "--json" => json = true,
-            _ => usage(),
+            other => bad_args(&format!("unknown flag {other:?}")),
         }
     }
     let mut cfg = match (cores, mcs) {
         (4, 1) => SystemConfig::quad_core(),
         (8, 1) => SystemConfig::eight_core_1mc(),
         (8, 2) => SystemConfig::eight_core_2mc(),
-        _ => usage(),
+        _ => bad_args(&format!(
+            "--cores {cores} --mcs {mcs}: unsupported combination (use 4/1, 8/1 or 8/2)"
+        )),
     };
     cfg = cfg.with_prefetcher(pf);
     cfg.emc.enabled = emc;
     cfg.core.runahead = runahead;
     cfg.seed = seed;
+    if faults {
+        cfg.faults = FaultPlan::chaos();
+    }
 
     let benches: Vec<Benchmark> = match &homog {
         Some(name) => {
             let b = Benchmark::all()
                 .into_iter()
                 .find(|b| b.name() == name)
-                .unwrap_or_else(|| usage());
+                .unwrap_or_else(|| bad_args(&format!("--homog: unknown benchmark {name:?}")));
             vec![b; cores]
         }
         None => {
-            let quad = mix_by_name(&mix_name).unwrap_or_else(|| usage());
-            if cores == 8 { eight_core_mix(quad) } else { quad.to_vec() }
+            let quad = mix_by_name(&mix_name)
+                .unwrap_or_else(|| bad_args(&format!("--mix: unknown mix {mix_name:?}")));
+            if cores == 8 {
+                eight_core_mix(quad)
+            } else {
+                quad.to_vec()
+            }
         }
     };
     let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
-    eprintln!("# {cores}-core, {mcs} MC, prefetcher {}, EMC {}, runahead {}, budget {budget}",
-        pf.label(), emc, runahead);
+    eprintln!(
+        "# {cores}-core, {mcs} MC, prefetcher {}, EMC {}, runahead {}, budget {budget}{}",
+        pf.label(),
+        emc,
+        runahead,
+        if faults { ", fault injection ON" } else { "" }
+    );
     eprintln!("# workload: {}", names.join("+"));
-    let stats = run_mix(cfg, &benches, budget);
+    let report = run_mix(cfg, &benches, budget);
+    match report.outcome {
+        RunOutcome::Completed => {}
+        RunOutcome::Wedged => {
+            eprintln!("emcsim: run WEDGED — no forward progress");
+            match &report.wedge {
+                Some(w) => eprintln!("{w}"),
+                None => eprintln!("(no wedge report captured)"),
+            }
+            std::process::exit(EXIT_WEDGED);
+        }
+        RunOutcome::CapHit => {
+            let progress: Vec<u64> = report.stats.cores.iter().map(|c| c.retired_uops).collect();
+            eprintln!(
+                "emcsim: cycle cap hit after {} cycles before every core reached its \
+                 budget; per-core retired uops: {progress:?}",
+                report.stats.cycles
+            );
+            std::process::exit(EXIT_CAP_HIT);
+        }
+    }
+    let stats = report.stats;
     if json {
-        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("stats serialize")
+        );
         return;
     }
-    println!("{:<12} {:>8} {:>8} {:>10} {:>8}", "core", "IPC", "MPKI", "dep-miss%", "chains");
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>8}",
+        "core", "IPC", "MPKI", "dep-miss%", "chains"
+    );
     for (i, c) in stats.cores.iter().enumerate() {
         println!(
             "{:<12} {:>8.3} {:>8.1} {:>9.1}% {:>8}",
@@ -102,9 +177,14 @@ fn main() {
     }
     println!();
     println!("cycles: {}", stats.cycles);
-    println!("DRAM reads/writes/prefetches: {}/{}/{}",
-        stats.mem.dram_reads, stats.mem.dram_writes, stats.mem.dram_prefetches);
-    println!("row conflict rate: {:.1}%", 100.0 * stats.mem.row_conflict_rate());
+    println!(
+        "DRAM reads/writes/prefetches: {}/{}/{}",
+        stats.mem.dram_reads, stats.mem.dram_writes, stats.mem.dram_prefetches
+    );
+    println!(
+        "row conflict rate: {:.1}%",
+        100.0 * stats.mem.row_conflict_rate()
+    );
     if emc {
         println!(
             "EMC: {} chains, {:.1} uops/chain, {:.1}% of misses, dcache hit {:.1}%",
@@ -118,5 +198,18 @@ fn main() {
             stats.mem.core_miss_latency.mean(),
             stats.mem.emc_miss_latency.mean()
         );
+        if faults {
+            let injected: u64 = stats.cores.iter().map(|c| c.chains_aborted_injected).sum();
+            let quiesces: u64 = stats.cores.iter().map(|c| c.emc_quiesce_events).sum();
+            println!(
+                "faults: {} ring delays, {} ECC re-issues, {} backpressure storms, \
+                 {} chains killed, {} EMC quiesce events",
+                stats.ring.injected_delays,
+                stats.mem.ecc_reissues,
+                stats.mem.backpressure_storms,
+                injected,
+                quiesces
+            );
+        }
     }
 }

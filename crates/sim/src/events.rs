@@ -163,9 +163,21 @@ mod tests {
     #[test]
     fn heap_pops_earliest_cycle_first() {
         let mut h = BinaryHeap::new();
-        h.push(Scheduled { at: 30, seq: 0, ev: ev(0) });
-        h.push(Scheduled { at: 10, seq: 1, ev: ev(1) });
-        h.push(Scheduled { at: 20, seq: 2, ev: ev(2) });
+        h.push(Scheduled {
+            at: 30,
+            seq: 0,
+            ev: ev(0),
+        });
+        h.push(Scheduled {
+            at: 10,
+            seq: 1,
+            ev: ev(1),
+        });
+        h.push(Scheduled {
+            at: 20,
+            seq: 2,
+            ev: ev(2),
+        });
         let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|s| s.at)).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
@@ -174,7 +186,11 @@ mod tests {
     fn same_cycle_events_pop_fifo() {
         let mut h = BinaryHeap::new();
         for seq in [5u64, 1, 3] {
-            h.push(Scheduled { at: 7, seq, ev: ev(seq as usize) });
+            h.push(Scheduled {
+                at: 7,
+                seq,
+                ev: ev(seq as usize),
+            });
         }
         let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|s| s.seq)).collect();
         assert_eq!(order, vec![1, 3, 5], "ties break by insertion sequence");

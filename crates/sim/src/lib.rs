@@ -18,7 +18,7 @@
 //! use emc_workloads::mix_by_name;
 //!
 //! let mix = mix_by_name("H4").unwrap();
-//! let stats = run_mix(SystemConfig::quad_core(), &mix, DEFAULT_BUDGET);
+//! let stats = run_mix(SystemConfig::quad_core(), &mix, DEFAULT_BUDGET).expect_completed();
 //! println!("IPC sum: {:.2}", stats.ipc_sum());
 //! ```
 
@@ -29,7 +29,8 @@ pub mod events;
 pub mod runner;
 pub mod system;
 
+pub use emc_types::{RunOutcome, RunReport, WedgeReport};
 pub use runner::{
     build_system, cycle_cap, eight_core_mix, run_homogeneous, run_mix, DEFAULT_BUDGET,
 };
-pub use system::System;
+pub use system::{BuildError, System};

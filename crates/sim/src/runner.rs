@@ -1,8 +1,8 @@
 //! Experiment helpers: build and run the paper's workload mixes.
 
-use crate::system::System;
+use crate::system::{BuildError, System};
 use emc_types::rng::substream;
-use emc_types::{Stats, SystemConfig};
+use emc_types::{RunReport, SystemConfig};
 use emc_workloads::{build, Benchmark, DEFAULT_ITERATIONS};
 
 /// Default retired-uop budget per core for full experiments. The paper
@@ -18,11 +18,15 @@ pub fn cycle_cap(budget: u64) -> u64 {
 
 /// Build a [`System`] for `benches` (one per core) under `cfg`.
 ///
-/// # Panics
-///
-/// Panics if `benches.len() != cfg.cores`.
-pub fn build_system(cfg: SystemConfig, benches: &[Benchmark]) -> System {
-    assert_eq!(benches.len(), cfg.cores, "one benchmark per core");
+/// Returns a [`BuildError`] if the benchmark count differs from
+/// `cfg.cores` or the configuration fails validation.
+pub fn build_system(cfg: SystemConfig, benches: &[Benchmark]) -> Result<System, BuildError> {
+    if benches.len() != cfg.cores {
+        return Err(BuildError::WorkloadMismatch {
+            workloads: benches.len(),
+            cores: cfg.cores,
+        });
+    }
     let workloads = benches
         .iter()
         .enumerate()
@@ -33,14 +37,26 @@ pub fn build_system(cfg: SystemConfig, benches: &[Benchmark]) -> System {
 
 /// Run `benches` under `cfg` with a per-core retired-uop budget,
 /// preceded by a half-budget warmup whose statistics are discarded
-/// (SimPoint-style methodology, §5 of the paper).
-pub fn run_mix(cfg: SystemConfig, benches: &[Benchmark], budget: u64) -> Stats {
-    let mut sys = build_system(cfg, benches);
+/// (SimPoint-style methodology, §5 of the paper). Inspect the returned
+/// [`RunReport`]'s outcome — or call
+/// [`expect_completed`](RunReport::expect_completed) — before treating
+/// the statistics as a measurement.
+///
+/// # Panics
+///
+/// Panics if the system cannot be built (mismatched benchmark count or
+/// invalid config); use [`build_system`] directly to handle that case.
+pub fn run_mix(cfg: SystemConfig, benches: &[Benchmark], budget: u64) -> RunReport {
+    let mut sys = build_system(cfg, benches).unwrap_or_else(|e| panic!("run_mix: {e}"));
     sys.run_with_warmup(budget / 2, budget, cycle_cap(budget))
 }
 
 /// Run a homogeneous workload: `cfg.cores` copies of one benchmark.
-pub fn run_homogeneous(cfg: SystemConfig, bench: Benchmark, budget: u64) -> Stats {
+///
+/// # Panics
+///
+/// Panics if the system cannot be built (invalid config).
+pub fn run_homogeneous(cfg: SystemConfig, bench: Benchmark, budget: u64) -> RunReport {
     let benches = vec![bench; cfg.cores];
     run_mix(cfg, &benches, budget)
 }

@@ -13,12 +13,92 @@ use emc_memctrl::MemoryController;
 use emc_prefetch::PrefetchEngine;
 use emc_ring::{Ring, RingKind, Topology};
 use emc_types::{
-    physical_line, AccessKind, Addr, CoreId, CoreStats, Cycle, LineAddr, MemReq, ReqId,
-    Requester, Stats, SystemConfig, UopKind, CACHE_LINE_BYTES,
+    physical_line, substream, AccessKind, Addr, CoreId, CoreStats, Cycle, LineAddr, MemReq, ReqId,
+    Requester, RunOutcome, RunReport, Stats, SystemConfig, UopKind, WedgeCoreState,
+    WedgeEmcContext, WedgeReport, CACHE_LINE_BYTES,
 };
 use emc_workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
 use std::sync::Arc;
+
+/// Fault-injection RNG stream identifiers (decorrelated from the
+/// workload streams, which use small indices `0..cores`).
+const FAULT_STREAM_RING: u64 = 0xF001;
+const FAULT_STREAM_MC_BASE: u64 = 0xF100;
+const FAULT_STREAM_EMC_KILL: u64 = 0xF200;
+
+/// How often the forward-progress watchdog samples retirement.
+const WATCHDOG_INTERVAL: Cycle = 10_000;
+/// Zero total retirement for this many cycles declares a wedge.
+const WEDGE_THRESHOLD: Cycle = 250_000;
+
+/// Why a [`System`] could not be constructed from its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The [`SystemConfig`] failed validation (the message names the
+    /// offending field).
+    InvalidConfig(String),
+    /// The number of workloads does not match `cfg.cores`.
+    WorkloadMismatch {
+        /// Workloads supplied by the caller.
+        workloads: usize,
+        /// Cores the configuration asks for.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            BuildError::WorkloadMismatch { workloads, cores } => write!(
+                f,
+                "workload count ({workloads}) does not match configured cores ({cores}); \
+                 supply exactly one workload per core"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// In-loop forward-progress watchdog: samples total retirement every
+/// [`WATCHDOG_INTERVAL`] cycles and reports how long the system has
+/// been stalled once the window exceeds [`WEDGE_THRESHOLD`].
+struct Watchdog {
+    last_retired: u64,
+    last_progress_at: Cycle,
+    next_check: Cycle,
+}
+
+impl Watchdog {
+    fn new(now: Cycle, retired: u64) -> Self {
+        Watchdog {
+            last_retired: retired,
+            last_progress_at: now,
+            next_check: now + WATCHDOG_INTERVAL,
+        }
+    }
+
+    /// Returns `Some(stalled_for)` once no uop has retired anywhere for
+    /// at least [`WEDGE_THRESHOLD`] cycles.
+    fn check(&mut self, now: Cycle, retired: u64) -> Option<Cycle> {
+        if now < self.next_check {
+            return None;
+        }
+        self.next_check = now + WATCHDOG_INTERVAL;
+        if retired != self.last_retired {
+            self.last_retired = retired;
+            self.last_progress_at = now;
+            return None;
+        }
+        let stalled = now - self.last_progress_at;
+        (stalled >= WEDGE_THRESHOLD).then_some(stalled)
+    }
+}
 
 /// An EMC load merged onto an outstanding line fetch.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +158,14 @@ pub struct System {
     dep_counters: Vec<DepMissCounter>,
     active_chain: Vec<Option<Vec<RobId>>>,
     chain_cooldown: Vec<Cycle>,
+    /// Consecutive chain aborts per home core (graceful degradation).
+    chain_fail_streak: Vec<u32>,
+    /// Current quiesce backoff window per home core (doubles on each
+    /// quiesce event, saturating; resets when a chain completes).
+    chain_backoff: Vec<Cycle>,
+    /// EMC context-kill fault stream, armed iff the fault plan enables
+    /// `emc_kill_prob`.
+    emc_fault: Option<(f64, SmallRng)>,
     pending_sources: HashMap<(CoreId, RobId), (usize, usize, u64)>,
     source_ready: HashSet<(CoreId, RobId)>,
     events: BinaryHeap<Scheduled>,
@@ -101,32 +189,58 @@ pub struct System {
 impl System {
     /// Build a system running one workload per core.
     ///
-    /// # Panics
-    ///
-    /// Panics if the workload count differs from `cfg.cores` or the
-    /// config is invalid.
-    pub fn new(cfg: SystemConfig, workloads: Vec<Workload>) -> Self {
-        cfg.validate().expect("valid config");
-        assert_eq!(workloads.len(), cfg.cores, "one workload per core");
-        let topo = Topology { cores: cfg.cores, mcs: cfg.memory_controllers };
+    /// Returns a [`BuildError`] (rather than panicking) if the config
+    /// fails validation or the workload count differs from `cfg.cores`.
+    pub fn new(cfg: SystemConfig, workloads: Vec<Workload>) -> Result<Self, BuildError> {
+        cfg.validate()
+            .map_err(|e| BuildError::InvalidConfig(e.to_string()))?;
+        if workloads.len() != cfg.cores {
+            return Err(BuildError::WorkloadMismatch {
+                workloads: workloads.len(),
+                cores: cfg.cores,
+            });
+        }
+        let topo = Topology {
+            cores: cfg.cores,
+            mcs: cfg.memory_controllers,
+        };
         let cores: Vec<Core> = workloads
             .iter()
             .map(|w| Core::new(&cfg.core, Arc::new(w.program.clone()), w.memory.clone()))
             .collect();
-        let bench_names = workloads.iter().map(|w| w.bench.name().to_string()).collect();
-        let mcs: Vec<MemoryController> = (0..cfg.memory_controllers)
+        let bench_names = workloads
+            .iter()
+            .map(|w| w.bench.name().to_string())
+            .collect();
+        let mut mcs: Vec<MemoryController> = (0..cfg.memory_controllers)
             .map(|m| MemoryController::new(&cfg.dram, cfg.channels_of_mc(m).collect()))
             .collect();
         let emcs: Vec<Emc> = (0..cfg.memory_controllers)
             .map(|_| Emc::new(&cfg.emc, cfg.cores))
             .collect();
         let emc_ctx_tag = vec![vec![0u64; cfg.emc.contexts]; cfg.memory_controllers];
-        System {
+        let mut ring = Ring::new(topo, cfg.ring);
+        ring.set_fault_plan(&cfg.faults, substream(cfg.seed, FAULT_STREAM_RING));
+        for (m, mc) in mcs.iter_mut().enumerate() {
+            mc.set_fault_plan(
+                &cfg.faults,
+                substream(cfg.seed, FAULT_STREAM_MC_BASE + m as u64),
+            );
+        }
+        let emc_fault = (cfg.faults.enabled && cfg.faults.emc_kill_prob > 0.0).then(|| {
+            let rng = SmallRng::seed_from_u64(substream(cfg.seed, FAULT_STREAM_EMC_KILL));
+            (cfg.faults.emc_kill_prob, rng)
+        });
+        Ok(System {
             now: 0,
             seq: 0,
-            l1d: (0..cfg.cores).map(|_| SetAssocCache::new(&cfg.l1)).collect(),
-            llc: (0..cfg.cores).map(|_| SetAssocCache::new(&cfg.llc_slice)).collect(),
-            ring: Ring::new(topo, cfg.ring),
+            l1d: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(&cfg.l1))
+                .collect(),
+            llc: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(&cfg.llc_slice))
+                .collect(),
+            ring,
             topo,
             mc_retry: vec![Vec::new(); cfg.memory_controllers],
             mcs,
@@ -140,6 +254,9 @@ impl System {
                 .collect(),
             active_chain: vec![None; cfg.cores],
             chain_cooldown: vec![0; cfg.cores],
+            chain_fail_streak: vec![0; cfg.cores],
+            chain_backoff: vec![cfg.emc.quiesce_backoff; cfg.cores],
+            emc_fault,
             pending_sources: HashMap::new(),
             source_ready: HashSet::new(),
             events: BinaryHeap::new(),
@@ -158,7 +275,7 @@ impl System {
             cores,
             bench_names,
             cfg,
-        }
+        })
     }
 
     /// Current simulation cycle.
@@ -178,7 +295,11 @@ impl System {
     fn schedule(&mut self, at: Cycle, ev: Ev) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Scheduled { at: at.max(self.now + 1), seq, ev });
+        self.events.push(Scheduled {
+            at: at.max(self.now + 1),
+            seq,
+            ev,
+        });
     }
 
     fn new_req_id(&mut self) -> ReqId {
@@ -202,14 +323,25 @@ impl System {
     // ==================================================================
 
     /// Run until every core has retired `budget_uops` (or finished its
-    /// program), or `max_cycles` elapse. Returns the final statistics
-    /// with per-core stats snapshotted at each core's budget crossing,
-    /// as in the paper's multiprogrammed methodology (§5).
-    pub fn run(&mut self, budget_uops: u64, max_cycles: u64) -> Stats {
+    /// program), or `max_cycles` elapse. Returns a [`RunReport`] whose
+    /// statistics snapshot each core at its budget crossing, as in the
+    /// paper's multiprogrammed methodology (§5).
+    ///
+    /// The report's [`RunOutcome`] says *how* the run ended: reaching
+    /// the cycle cap yields [`RunOutcome::CapHit`] (truncated stats,
+    /// never silently passed off as a measurement), and a forward-
+    /// progress watchdog aborts runs where no core retires anything for
+    /// [`WEDGE_THRESHOLD`] cycles, attaching a [`WedgeReport`] of the
+    /// scheduler state.
+    pub fn run(&mut self, budget_uops: u64, max_cycles: u64) -> RunReport {
+        let mut watch = Watchdog::new(self.now, self.total_retired());
         while self.now < max_cycles && !self.all_cores_done(budget_uops) {
             self.tick(budget_uops);
+            if let Some(stalled) = watch.check(self.now, self.total_retired()) {
+                return self.wedged(stalled);
+            }
         }
-        self.finalize()
+        self.report(budget_uops)
     }
 
     /// Run with a warmup phase: execute `warmup_uops` per core with
@@ -217,15 +349,112 @@ impl System {
     /// prefetcher state all warm up), then measure `budget_uops` per
     /// core. This mirrors the paper's SimPoint methodology (§5), where
     /// measurement starts from a warmed representative region.
-    pub fn run_with_warmup(&mut self, warmup_uops: u64, budget_uops: u64, max_cycles: u64) -> Stats {
+    ///
+    /// The watchdog covers the warmup phase too: a wedge during warmup
+    /// is reported exactly like one during measurement.
+    pub fn run_with_warmup(
+        &mut self,
+        warmup_uops: u64,
+        budget_uops: u64,
+        max_cycles: u64,
+    ) -> RunReport {
+        let mut watch = Watchdog::new(self.now, self.total_retired());
         while self.now < max_cycles && !self.all_cores_done(warmup_uops) {
             self.tick(u64::MAX); // no snapshots during warmup
+            if let Some(stalled) = watch.check(self.now, self.total_retired()) {
+                return self.wedged(stalled);
+            }
+        }
+        if self.now >= max_cycles && !self.all_cores_done(warmup_uops) {
+            return self.report(warmup_uops); // cap hit inside warmup
         }
         self.reset_statistics();
+        let mut watch = Watchdog::new(self.now, self.total_retired());
         while self.now < max_cycles && !self.all_cores_done(budget_uops) {
             self.tick(budget_uops);
+            if let Some(stalled) = watch.check(self.now, self.total_retired()) {
+                return self.wedged(stalled);
+            }
         }
-        self.finalize()
+        self.report(budget_uops)
+    }
+
+    fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.retired_uops).sum()
+    }
+
+    fn report(&mut self, budget_uops: u64) -> RunReport {
+        let outcome = if self.all_cores_done(budget_uops) {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::CapHit
+        };
+        RunReport {
+            outcome,
+            stats: self.finalize(),
+            wedge: None,
+        }
+    }
+
+    fn wedged(&mut self, stalled_for: Cycle) -> RunReport {
+        let wedge = self.wedge_report(stalled_for);
+        RunReport {
+            outcome: RunOutcome::Wedged,
+            stats: self.finalize(),
+            wedge: Some(wedge),
+        }
+    }
+
+    /// Structured snapshot of every scheduler-visible queue, built when
+    /// the forward-progress watchdog fires.
+    pub fn wedge_report(&self, stalled_for: Cycle) -> WedgeReport {
+        let cores = (0..self.cfg.cores)
+            .map(|i| {
+                let c = &self.cores[i];
+                WedgeCoreState {
+                    core: i,
+                    bench: self.bench_names[i].clone(),
+                    retired_uops: c.stats.retired_uops,
+                    rob_len: c.rob_len(),
+                    finished: c.finished_at().is_some(),
+                    active_chain_uops: self.active_chain[i].as_ref().map(|v| v.len()),
+                    rob_head: c.rob_iter().next().map(|e| {
+                        format!(
+                            "id={} {:?} state={:?} remote={} llc_miss={} addr={:?}",
+                            e.id, e.uop.kind, e.state, e.remote, e.llc_miss, e.addr
+                        )
+                    }),
+                }
+            })
+            .collect();
+        let emc_contexts = self
+            .emcs
+            .iter()
+            .enumerate()
+            .flat_map(|(m, emc)| {
+                (0..self.cfg.emc.contexts).filter_map(move |ctx| {
+                    emc.context_chain(ctx).map(|ch| WedgeEmcContext {
+                        mc: m,
+                        ctx,
+                        home_core: ch.home_core,
+                        chain_uops: ch.uops.len(),
+                        awaiting_source: self
+                            .pending_sources
+                            .contains_key(&(ch.home_core, ch.source_rob)),
+                    })
+                })
+            })
+            .collect();
+        WedgeReport {
+            cycle: self.now,
+            stalled_for,
+            cores,
+            mc_queue_depths: self.mcs.iter().map(|m| m.queue_len()).collect(),
+            mc_retry_depths: self.mc_retry.iter().map(|r| r.len()).collect(),
+            emc_contexts,
+            outstanding_lines: self.outstanding.len(),
+            pending_events: self.events.len(),
+        }
     }
 
     /// Zero all statistics counters, keeping microarchitectural state.
@@ -264,7 +493,12 @@ impl System {
         for emc in &self.emcs {
             merge_emc(&mut stats.emc, &emc.stats);
         }
-        stats.prefetch.degree = self.prefetchers.iter().map(|p| p.degree() as u64).max().unwrap_or(0);
+        stats.prefetch.degree = self
+            .prefetchers
+            .iter()
+            .map(|p| p.degree() as u64)
+            .max()
+            .unwrap_or(0);
         stats
     }
 
@@ -387,7 +621,15 @@ impl System {
             Ev::L1Done { core, rob } => {
                 self.cores[core].complete_load(rob, self.now);
             }
-            Ev::LlcReq { core, rob, pline, vaddr, pc, created, ring_cycles } => {
+            Ev::LlcReq {
+                core,
+                rob,
+                pline,
+                vaddr,
+                pc,
+                created,
+                ring_cycles,
+            } => {
                 self.on_llc_req(core, rob, pline, vaddr, pc, created, ring_cycles);
             }
             Ev::LlcDone { core, rob, pline } => {
@@ -415,16 +657,53 @@ impl System {
                     self.mc_retry[mc].push(req);
                 }
             }
-            Ev::FillAtLlc { req, ring_cycles, cache_cycles } => {
+            Ev::FillAtLlc {
+                req,
+                ring_cycles,
+                cache_cycles,
+            } => {
                 self.on_fill_at_llc(req, ring_cycles, cache_cycles);
             }
-            Ev::CoreDeliver { core, req, ring_cycles, cache_cycles } => {
+            Ev::CoreDeliver {
+                core,
+                req,
+                ring_cycles,
+                cache_cycles,
+            } => {
                 self.on_core_deliver(core, req, ring_cycles, cache_cycles);
             }
-            Ev::EmcLlcReq { mc, tag, ctx, uop, core, pline, vaddr, pc, created, ring_cycles } => {
-                self.on_emc_llc_req(mc, tag, ctx, uop, core, pline, vaddr, pc, created, ring_cycles);
+            Ev::EmcLlcReq {
+                mc,
+                tag,
+                ctx,
+                uop,
+                core,
+                pline,
+                vaddr,
+                pc,
+                created,
+                ring_cycles,
+            } => {
+                self.on_emc_llc_req(
+                    mc,
+                    tag,
+                    ctx,
+                    uop,
+                    core,
+                    pline,
+                    vaddr,
+                    pc,
+                    created,
+                    ring_cycles,
+                );
             }
-            Ev::EmcLoadDone { mc, tag, ctx, uop, value } => {
+            Ev::EmcLoadDone {
+                mc,
+                tag,
+                ctx,
+                uop,
+                value,
+            } => {
                 if self.emc_ctx_tag[mc][ctx] == tag {
                     self.emcs[mc].complete_load(ctx, uop, value);
                 }
@@ -501,17 +780,28 @@ impl System {
         if core == 0 {
             if let Some(r) = self.dbg_regions.as_mut() {
                 let a = vaddr.0;
-                let idx = if (0x1000_0000..0x4000_0000).contains(&a) { 0 }
-                    else if (0x4000_0000..0x8000_0000).contains(&a) { 1 }
-                    else if (0x8000_0000..0x1_0000_0000).contains(&a) { 2 }
-                    else if a >= 0x1_0000_0000 { 3 } else { 4 };
+                let idx = if (0x1000_0000..0x4000_0000).contains(&a) {
+                    0
+                } else if (0x4000_0000..0x8000_0000).contains(&a) {
+                    1
+                } else if (0x8000_0000..0x1_0000_0000).contains(&a) {
+                    2
+                } else if a >= 0x1_0000_0000 {
+                    3
+                } else {
+                    4
+                };
                 r[idx] += 1;
             }
         }
         if let Some(cv) = self.dbg_cov.as_mut() {
             let a = vaddr.0;
-            if (0x1000_0000..0x4000_0000).contains(&a) { cv[0] += 1; }
-            if (0x4000_0000..0x8000_0000).contains(&a) { cv[2] += 1; }
+            if (0x1000_0000..0x4000_0000).contains(&a) {
+                cv[0] += 1;
+            }
+            if (0x4000_0000..0x8000_0000).contains(&a) {
+                cv[2] += 1;
+            }
         }
         self.cores[core].mark_llc_miss(rob);
         let dependent = self.cores[core].load_is_dependent(rob);
@@ -520,8 +810,13 @@ impl System {
         let id = self.new_req_id();
         let mut req = MemReq::read(id, pline, Requester::Core(core), pc, created);
         req.timeline.llc_arrive = Some(self.now);
-        self.outstanding
-            .insert(pline, Outstanding { waiters: vec![(core, rob)], emc_waiters: Vec::new() });
+        self.outstanding.insert(
+            pline,
+            Outstanding {
+                waiters: vec![(core, rob)],
+                emc_waiters: Vec::new(),
+            },
+        );
         let mc = self.mc_of_line(pline);
         let depart = self.now + lat;
         let arrive = self.ring.send(
@@ -532,8 +827,13 @@ impl System {
             false,
             &mut self.stats.ring,
         );
-        self.req_components
-            .insert(id, Components { ring: ring_cycles + (arrive - depart), cache: lat });
+        self.req_components.insert(
+            id,
+            Components {
+                ring: ring_cycles + (arrive - depart),
+                cache: lat,
+            },
+        );
         self.schedule(arrive, Ev::McArrive { mc, req });
     }
 
@@ -576,8 +876,7 @@ impl System {
         }
         // Low-confidence prefetches insert at LRU (FDP) so they cannot
         // pollute the LLC; everything else inserts at MRU.
-        let lru_insert = prefetched
-            && self.prefetchers[req.requester.home_core()].low_confidence();
+        let lru_insert = prefetched && self.prefetchers[req.requester.home_core()].low_confidence();
         let evicted = if lru_insert {
             self.llc[slice].fill_lru(pline, false, prefetched)
         } else {
@@ -665,10 +964,16 @@ impl System {
         if let (Some(total), Some(dl)) = (t.total_latency(), t.dram_latency()) {
             self.stats.mem.core_miss_latency.record(total);
             self.stats.mem.dram_service_latency.record(dl);
-            self.stats.mem.on_chip_delay.record(total.saturating_sub(dl));
+            self.stats
+                .mem
+                .on_chip_delay
+                .record(total.saturating_sub(dl));
             self.stats.mem.core_ring_component.record(ring);
             self.stats.mem.core_cache_component.record(cache);
-            self.stats.mem.core_queue_component.record(t.mc_queue_delay().unwrap_or(0));
+            self.stats
+                .mem
+                .core_queue_component
+                .record(t.mc_queue_delay().unwrap_or(0));
         }
     }
 
@@ -746,7 +1051,16 @@ impl System {
                     &mut self.stats.ring,
                 )
             };
-            self.schedule(at, Ev::EmcLoadDone { mc: w.mc, tag: w.tag, ctx: w.ctx, uop: w.uop, value });
+            self.schedule(
+                at,
+                Ev::EmcLoadDone {
+                    mc: w.mc,
+                    tag: w.tag,
+                    ctx: w.ctx,
+                    uop: w.uop,
+                    value,
+                },
+            );
         }
         // Source-data interception for waiting chains (§4.3): any read
         // completion can carry a chain's source line, regardless of who
@@ -789,10 +1103,19 @@ impl System {
                 self.stats.mem.emc_miss_latency.record(total);
                 self.stats.mem.emc_ring_component.record(meta.ring_cycles);
                 self.stats.mem.emc_cache_component.record(meta.cache_cycles);
-                self.stats.mem.emc_queue_component.record(t.mc_queue_delay().unwrap_or(0));
+                self.stats
+                    .mem
+                    .emc_queue_component
+                    .record(t.mc_queue_delay().unwrap_or(0));
                 self.schedule(
                     deliver_at,
-                    Ev::EmcLoadDone { mc: meta.mc, tag: meta.tag, ctx: meta.ctx, uop: meta.uop, value },
+                    Ev::EmcLoadDone {
+                        mc: meta.mc,
+                        tag: meta.tag,
+                        ctx: meta.ctx,
+                        uop: meta.uop,
+                        value,
+                    },
                 );
                 // EMC fills also install into the LLC.
                 let slice = self.slice_of(pline);
@@ -804,7 +1127,14 @@ impl System {
                     true,
                     &mut self.stats.ring,
                 );
-                self.schedule(depart, Ev::FillAtLlc { req, ring_cycles: 0, cache_cycles: 0 });
+                self.schedule(
+                    depart,
+                    Ev::FillAtLlc {
+                        req,
+                        ring_cycles: 0,
+                        cache_cycles: 0,
+                    },
+                );
             }
             Requester::Core(_) | Requester::Prefetcher(_) => {
                 let comps = self.req_components.remove(&req.id).unwrap_or_default();
@@ -852,15 +1182,37 @@ impl System {
         if !self.cfg.emc.enabled {
             return;
         }
+        // Fault injection: kill busy contexts mid-chain. The abort rides
+        // the normal chain-abort path (home core re-executes locally), so
+        // only timing is perturbed.
+        if let Some((prob, mut rng)) = self.emc_fault.take() {
+            for mc in 0..self.emcs.len() {
+                for ctx in 0..self.cfg.emc.contexts {
+                    if self.emcs[mc].context_chain(ctx).is_some() && rng.gen_bool(prob) {
+                        self.emcs[mc].force_abort(ctx, AbortReason::Injected);
+                    }
+                }
+            }
+            self.emc_fault = Some((prob, rng));
+        }
         for mc in 0..self.emcs.len() {
             for ev in self.emcs[mc].tick(self.now) {
                 match ev {
-                    EmcEvent::Load { ctx, uop, home_core, vaddr, pc, route } => {
+                    EmcEvent::Load {
+                        ctx,
+                        uop,
+                        home_core,
+                        vaddr,
+                        pc,
+                        route,
+                    } => {
                         self.on_emc_load(mc, ctx, uop, home_core, vaddr, pc, route);
                     }
                     EmcEvent::Results { ctx } => self.on_emc_results(mc, ctx),
                     EmcEvent::ChainDone { ctx } => self.on_chain_done(mc, ctx),
-                    EmcEvent::ChainAborted { ctx, reason } => self.on_chain_aborted(mc, ctx, reason),
+                    EmcEvent::ChainAborted { ctx, reason } => {
+                        self.on_chain_aborted(mc, ctx, reason)
+                    }
                 }
             }
         }
@@ -900,7 +1252,16 @@ impl System {
         match route {
             LoadRoute::DcacheHit => {
                 let lat = self.cfg.emc.dcache_latency;
-                self.schedule(self.now + lat, Ev::EmcLoadDone { mc, tag, ctx, uop, value });
+                self.schedule(
+                    self.now + lat,
+                    Ev::EmcLoadDone {
+                        mc,
+                        tag,
+                        ctx,
+                        uop,
+                        value,
+                    },
+                );
             }
             LoadRoute::Llc => {
                 let slice = self.slice_of(pline);
@@ -984,23 +1345,56 @@ impl System {
     ) {
         if let Some(cv) = self.dbg_cov.as_mut() {
             let a = vaddr.0;
-            if (0x1000_0000..0x4000_0000).contains(&a) { cv[1] += 1; }
-            if (0x4000_0000..0x8000_0000).contains(&a) { cv[3] += 1; }
+            if (0x1000_0000..0x4000_0000).contains(&a) {
+                cv[1] += 1;
+            }
+            if (0x4000_0000..0x8000_0000).contains(&a) {
+                cv[3] += 1;
+            }
         }
         // Merge onto any outstanding fetch of the same line (the MC
         // snoops its own queue; chain loads often share a node line).
         if let Some(o) = self.outstanding.get_mut(&pline) {
-            o.emc_waiters.push(EmcWait { mc, tag, ctx, uop, home_core: core, vaddr });
+            o.emc_waiters.push(EmcWait {
+                mc,
+                tag,
+                ctx,
+                uop,
+                home_core: core,
+                vaddr,
+            });
             return;
         }
         let id = self.new_req_id();
-        let req = MemReq::read(id, pline, Requester::Emc { home_core: core, mc }, pc, self.now);
+        let req = MemReq::read(
+            id,
+            pline,
+            Requester::Emc {
+                home_core: core,
+                mc,
+            },
+            pc,
+            self.now,
+        );
         self.emc_req_meta.insert(
             id,
-            EmcReqMeta { mc, tag, ctx, uop, vaddr, ring_cycles, cache_cycles },
+            EmcReqMeta {
+                mc,
+                tag,
+                ctx,
+                uop,
+                vaddr,
+                ring_cycles,
+                cache_cycles,
+            },
         );
-        self.outstanding
-            .insert(pline, Outstanding { waiters: Vec::new(), emc_waiters: Vec::new() });
+        self.outstanding.insert(
+            pline,
+            Outstanding {
+                waiters: Vec::new(),
+                emc_waiters: Vec::new(),
+            },
+        );
         let owner = self.mc_of_line(pline);
         if owner == mc {
             // The EMC is colocated with the memory queue: no ring hop.
@@ -1056,7 +1450,16 @@ impl System {
                 true,
                 &mut self.stats.ring,
             );
-            self.schedule(back, Ev::EmcLoadDone { mc, tag, ctx, uop, value });
+            self.schedule(
+                back,
+                Ev::EmcLoadDone {
+                    mc,
+                    tag,
+                    ctx,
+                    uop,
+                    value,
+                },
+            );
             return;
         }
         self.emcs[mc].train_miss_predictor(core, pc, true);
@@ -1068,7 +1471,9 @@ impl System {
     /// Ship the results completed this cycle back to the home core as
     /// one data-ring message (incremental live-out return).
     fn on_emc_results(&mut self, mc: usize, ctx: usize) {
-        let Some(core) = self.emcs[mc].context_chain(ctx).map(|c| c.home_core) else { return };
+        let Some(core) = self.emcs[mc].context_chain(ctx).map(|c| c.home_core) else {
+            return;
+        };
         let results = self.emcs[mc].drain_results(ctx);
         if results.is_empty() {
             return;
@@ -1082,7 +1487,13 @@ impl System {
             true,
             &mut self.stats.ring,
         );
-        self.schedule(arrive, Ev::ChainResults { core, results: results.into_boxed_slice() });
+        self.schedule(
+            arrive,
+            Ev::ChainResults {
+                core,
+                results: results.into_boxed_slice(),
+            },
+        );
     }
 
     fn on_chain_done(&mut self, mc: usize, ctx: usize) {
@@ -1093,6 +1504,10 @@ impl System {
         let core = fin.chain.home_core;
         self.pending_sources.remove(&(core, fin.chain.source_rob));
         self.active_chain[core] = None;
+        // A completed chain ends any failure streak and resets the
+        // degradation backoff for this core.
+        self.chain_fail_streak[core] = 0;
+        self.chain_backoff[core] = self.cfg.emc.quiesce_backoff;
     }
 
     fn on_chain_aborted(&mut self, mc: usize, ctx: usize, reason: AbortReason) {
@@ -1106,6 +1521,20 @@ impl System {
                 self.cores[core].stats.chains_aborted_branch += 1;
             }
             AbortReason::Disambiguation => {}
+            AbortReason::Injected => self.cores[core].stats.chains_aborted_injected += 1,
+        }
+        // Graceful degradation: after `quiesce_threshold` consecutive
+        // failed chains the EMC quiesces for this core, backing off for
+        // a window that doubles (saturating) on every repeat.
+        self.chain_fail_streak[core] += 1;
+        if self.chain_fail_streak[core] >= self.cfg.emc.quiesce_threshold {
+            self.chain_fail_streak[core] = 0;
+            let backoff = self.chain_backoff[core];
+            self.chain_cooldown[core] = self.chain_cooldown[core].max(self.now + backoff);
+            self.chain_backoff[core] = backoff
+                .saturating_mul(2)
+                .min(self.cfg.emc.quiesce_backoff_max);
+            self.cores[core].stats.emc_quiesce_events += 1;
         }
         let rob_ids: Vec<RobId> = fin.chain.uops.iter().map(|u| u.rob).collect();
         let arrive = self.ring.send(
@@ -1116,7 +1545,13 @@ impl System {
             true,
             &mut self.stats.ring,
         );
-        self.schedule(arrive, Ev::ChainAbortAtCore { core, rob_ids: rob_ids.into_boxed_slice() });
+        self.schedule(
+            arrive,
+            Ev::ChainAbortAtCore {
+                core,
+                rob_ids: rob_ids.into_boxed_slice(),
+            },
+        );
     }
 
     fn maybe_generate_chains(&mut self) {
@@ -1161,11 +1596,17 @@ impl System {
             let mut best: Option<(usize, emc_core::GeneratedChain)> = None;
             for src in candidates {
                 if let Some(g) = generate_chain(&self.cores[core], core, src, &self.cfg.emc) {
-                    let loads = g.chain.uops.iter().filter(|u| u.kind == UopKind::Load).count();
+                    let loads = g
+                        .chain
+                        .uops
+                        .iter()
+                        .filter(|u| u.kind == UopKind::Load)
+                        .count();
                     let better = match &best {
                         None => true,
                         Some((bl, bg)) => {
-                            loads > *bl || (loads == *bl && g.chain.uops.len() > bg.chain.uops.len())
+                            loads > *bl
+                                || (loads == *bl && g.chain.uops.len() > bg.chain.uops.len())
                         }
                     };
                     if better {
@@ -1223,7 +1664,8 @@ impl System {
                 let value = self.source_value(dest_mc, ctx, core, source_rob);
                 self.emcs[dest_mc].deliver_source(ctx, value);
             } else {
-                self.pending_sources.insert((core, source_rob), (dest_mc, ctx, tag));
+                self.pending_sources
+                    .insert((core, source_rob), (dest_mc, ctx, tag));
             }
             if let Some(c) = self.emcs[dest_mc].context_chain(ctx) {
                 self.cores[core].stats.chain_live_ins += c.live_in_count();
@@ -1239,19 +1681,28 @@ impl System {
             self.tick(u64::MAX);
         }
         let c = self.dbg_cov.unwrap();
-        println!("node: core={} emc={}  payload: core={} emc={}", c[0], c[1], c[2], c[3]);
+        println!(
+            "node: core={} emc={}  payload: core={} emc={}",
+            c[0], c[1], c[2], c[3]
+        );
         let chains: u64 = self.cores.iter().map(|x| x.stats.chains_sent).sum();
-        println!("chains={} stall0={} cycles0={}", chains,
-            self.cores[0].stats.full_window_stall_cycles, self.cores[0].stats.cycles);
+        println!(
+            "chains={} stall0={} cycles0={}",
+            chains, self.cores[0].stats.full_window_stall_cycles, self.cores[0].stats.cycles
+        );
     }
 
     /// Diagnostics: print per-core progress.
     #[doc(hidden)]
     pub fn debug_progress(&self) {
         for (i, c) in self.cores.iter().enumerate() {
-            println!("  core {i} ({}): retired={} rob={} stalls={}",
-                self.bench_names[i], c.stats.retired_uops, c.rob_len(),
-                c.stats.full_window_stall_cycles);
+            println!(
+                "  core {i} ({}): retired={} rob={} stalls={}",
+                self.bench_names[i],
+                c.stats.retired_uops,
+                c.rob_len(),
+                c.stats.full_window_stall_cycles
+            );
         }
     }
 
@@ -1259,78 +1710,52 @@ impl System {
     #[doc(hidden)]
     pub fn debug_core_dump(&self, core: usize) {
         let c = &self.cores[core];
-        println!("core {core} retired={} rob_len={} finished={:?} r15={} active_chain={:?} cooldown={}",
-            c.stats.retired_uops, c.rob_len(), c.finished_at(), c.committed_regs()[15],
-            self.active_chain[core], self.chain_cooldown[core]);
+        println!(
+            "core {core} retired={} rob_len={} finished={:?} r15={} active_chain={:?} cooldown={}",
+            c.stats.retired_uops,
+            c.rob_len(),
+            c.finished_at(),
+            c.committed_regs()[15],
+            self.active_chain[core],
+            self.chain_cooldown[core]
+        );
         for e in c.rob_iter().take(20) {
-            println!("  id={} {:?} st={:?} rem={} llc={} ready=[{},{}] prod=[{:?},{:?}] addr={:?}",
-                e.id, e.uop.kind, e.state, e.remote, e.llc_miss,
-                e.srcs[0].ready(), e.srcs[1].ready(), e.srcs[0].producer, e.srcs[1].producer, e.addr);
+            println!(
+                "  id={} {:?} st={:?} rem={} llc={} ready=[{},{}] prod=[{:?},{:?}] addr={:?}",
+                e.id,
+                e.uop.kind,
+                e.state,
+                e.remote,
+                e.llc_miss,
+                e.srcs[0].ready(),
+                e.srcs[1].ready(),
+                e.srcs[0].producer,
+                e.srcs[1].producer,
+                e.addr
+            );
         }
         for (m, emc) in self.emcs.iter().enumerate() {
             for ctx in 0..self.cfg.emc.contexts {
                 if let Some(ch) = emc.context_chain(ctx) {
-                    println!("emc {m} ctx {ctx}: home={} src_rob={} uops={} pending={:?} tag={}",
-                        ch.home_core, ch.source_rob, ch.uops.len(),
+                    println!(
+                        "emc {m} ctx {ctx}: home={} src_rob={} uops={} pending={:?} tag={}",
+                        ch.home_core,
+                        ch.source_rob,
+                        ch.uops.len(),
                         self.pending_sources.get(&(ch.home_core, ch.source_rob)),
-                        self.emc_ctx_tag[m][ctx]);
+                        self.emc_ctx_tag[m][ctx]
+                    );
                 }
             }
         }
-        println!("source_ready: {:?}", self.source_ready.iter().filter(|(c2,_)| *c2==core).collect::<Vec<_>>());
+        println!(
+            "source_ready: {:?}",
+            self.source_ready
+                .iter()
+                .filter(|(c2, _)| *c2 == core)
+                .collect::<Vec<_>>()
+        );
         println!("outstanding: {}", self.outstanding.len());
-    }
-
-    /// Diagnostics: detect a stuck system and dump scheduler state.
-    #[doc(hidden)]
-    pub fn debug_deadlock(&mut self, max_cycles: u64) {
-        let mut last_retired: Vec<u64> = vec![0; self.cfg.cores];
-        let mut stuck_since = 0u64;
-        for _ in 0..max_cycles {
-            self.tick(u64::MAX);
-            if self.now.is_multiple_of(10_000) {
-                let cur: Vec<u64> = self.cores.iter().map(|c| c.stats.retired_uops).collect();
-                if cur == last_retired {
-                    stuck_since += 1;
-                    if stuck_since >= 3 {
-                        println!("DEADLOCK at cycle {}", self.now);
-                        for (i, c) in self.cores.iter().enumerate() {
-                            let head = c.rob_iter().next();
-                            println!("core {i}: retired={} rob_len={} active_chain={:?}",
-                                c.stats.retired_uops, c.rob_len(),
-                                self.active_chain[i].as_ref().map(|v| v.len()));
-                            if let Some(h) = head {
-                                println!("  head id={} {:?} state={:?} remote={} llc_miss={} addr={:?}",
-                                    h.id, h.uop.kind, h.state, h.remote, h.llc_miss, h.addr);
-                            }
-                            for e in c.rob_iter().take(8) {
-                                println!("    id={} {:?} st={:?} rem={} srcs_ready=[{},{}]",
-                                    e.id, e.uop.kind, e.state, e.remote,
-                                    e.srcs[0].ready(), e.srcs[1].ready());
-                            }
-                        }
-                        for (m, emc) in self.emcs.iter().enumerate() {
-                            for ctx in 0..self.cfg.emc.contexts {
-                                if let Some(ch) = emc.context_chain(ctx) {
-                                    println!("emc {m} ctx {ctx}: home={} source_rob={} uops={} pending_src={:?}",
-                                        ch.home_core, ch.source_rob, ch.uops.len(),
-                                        self.pending_sources.get(&(ch.home_core, ch.source_rob)));
-                                }
-                            }
-                        }
-                        println!("outstanding lines: {}", self.outstanding.len());
-                        println!("mc queues: {:?}", self.mcs.iter().map(|m| m.queue_len()).collect::<Vec<_>>());
-                        println!("mc retry: {:?}", self.mc_retry.iter().map(|r| r.len()).collect::<Vec<_>>());
-                        println!("events pending: {}", self.events.len());
-                        return;
-                    }
-                } else {
-                    stuck_since = 0;
-                    last_retired = cur;
-                }
-            }
-        }
-        println!("no deadlock within {max_cycles} cycles");
     }
 
     /// Diagnostics: classify core-0 LLC misses by address region.
@@ -1341,8 +1766,14 @@ impl System {
             self.tick(u64::MAX);
         }
         let r = self.dbg_regions.unwrap();
-        println!("misses: chase={} payload={} stream={} random={} other={}", r[0], r[1], r[2], r[3], r[4]);
-        println!("llc_misses={} accesses={}", self.cores[0].stats.llc_misses, self.cores[0].stats.llc_accesses);
+        println!(
+            "misses: chase={} payload={} stream={} random={} other={}",
+            r[0], r[1], r[2], r[3], r[4]
+        );
+        println!(
+            "llc_misses={} accesses={}",
+            self.cores[0].stats.llc_misses, self.cores[0].stats.llc_accesses
+        );
     }
 
     /// Diagnostics: sample ROB occupancy and window composition of core 0.
@@ -1365,9 +1796,19 @@ impl System {
             println!("rob in [{},{}) : {}", k * 32, (k + 1) * 32, occ_hist[&k]);
         }
         println!("stall cycles: {stalls}");
-        let waiting = self.cores[0].rob_iter().filter(|e| e.state == EntryState::Waiting).count();
-        println!("rob_len={} waiting={} head={:?}", self.cores[0].rob_len(), waiting,
-                 self.cores[0].rob_iter().next().map(|e| (e.uop.kind, e.state, e.llc_miss)));
+        let waiting = self.cores[0]
+            .rob_iter()
+            .filter(|e| e.state == EntryState::Waiting)
+            .count();
+        println!(
+            "rob_len={} waiting={} head={:?}",
+            self.cores[0].rob_len(),
+            waiting,
+            self.cores[0]
+                .rob_iter()
+                .next()
+                .map(|e| (e.uop.kind, e.state, e.llc_miss))
+        );
     }
 
     /// Diagnostics: run until `n` chains have been generated, printing
@@ -1387,26 +1828,42 @@ impl System {
                             println!("--- chain from core {core} at cycle {} ---", self.now);
                             for &id in ids.iter() {
                                 if let Some(e) = self.cores[core].entry(id) {
-                                    println!("  id={} kind={:?} dst={:?} imm={:#x}", e.id, e.uop.kind, e.uop.dst, e.uop.imm);
+                                    println!(
+                                        "  id={} kind={:?} dst={:?} imm={:#x}",
+                                        e.id, e.uop.kind, e.uop.dst, e.uop.imm
+                                    );
                                 }
                             }
                         }
                     }
                 }
                 seen += 1;
-                if seen >= n { break; }
+                if seen >= n {
+                    break;
+                }
             }
             // report first few stalls
             if stall_reported < 3 {
                 for core in 0..self.cfg.cores {
                     if let Some(src) = self.cores[core].full_window_stall() {
                         stall_reported += 1;
-                        println!("=== stall core {core} cycle {} source id {src} dep_ctr={} ===", self.now, self.dep_counters[core].value());
+                        println!(
+                            "=== stall core {core} cycle {} source id {src} dep_ctr={} ===",
+                            self.now,
+                            self.dep_counters[core].value()
+                        );
                         let rob: Vec<_> = self.cores[core].rob_iter().take(14).collect();
                         for e in rob {
-                            println!("  id={} {:?} state={:?} remote={} waiters={:?} srcs=[{:?},{:?}]",
-                                e.id, e.uop.kind, e.state, e.remote,
-                                e.waiters, e.srcs[0].producer, e.srcs[1].producer);
+                            println!(
+                                "  id={} {:?} state={:?} remote={} waiters={:?} srcs=[{:?},{:?}]",
+                                e.id,
+                                e.uop.kind,
+                                e.state,
+                                e.remote,
+                                e.waiters,
+                                e.srcs[0].producer,
+                                e.srcs[1].producer
+                            );
                         }
                         break;
                     }
@@ -1438,8 +1895,13 @@ impl System {
                 self.stats.prefetch.issued += 1;
                 let id = self.new_req_id();
                 let req = MemReq::prefetch(id, pline, core, self.now);
-                self.outstanding
-                    .insert(pline, Outstanding { waiters: Vec::new(), emc_waiters: Vec::new() });
+                self.outstanding.insert(
+                    pline,
+                    Outstanding {
+                        waiters: Vec::new(),
+                        emc_waiters: Vec::new(),
+                    },
+                );
                 let mc = self.mc_of_line(pline);
                 let arrive = self.ring.send(
                     RingKind::Control,
@@ -1479,4 +1941,75 @@ fn merge_emc(into: &mut emc_types::EmcStats, from: &emc_types::EmcStats) {
     into.chains_rejected_busy += from.chains_rejected_busy;
     into.branch_mispredicts_detected += from.branch_mispredicts_detected;
     into.requests_covered_by_prefetch += from.requests_covered_by_prefetch;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_stays_quiet_while_retirement_advances() {
+        let mut w = Watchdog::new(0, 0);
+        let mut retired = 0;
+        for now in (WATCHDOG_INTERVAL..10 * WEDGE_THRESHOLD).step_by(WATCHDOG_INTERVAL as usize) {
+            retired += 1;
+            assert_eq!(w.check(now, retired), None);
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_after_threshold_of_zero_retirement() {
+        let mut w = Watchdog::new(0, 42);
+        let mut fired = None;
+        let mut now = 0;
+        while fired.is_none() {
+            now += WATCHDOG_INTERVAL;
+            fired = w.check(now, 42);
+            assert!(
+                now <= WEDGE_THRESHOLD + WATCHDOG_INTERVAL,
+                "watchdog never fired"
+            );
+        }
+        assert!(fired.unwrap() >= WEDGE_THRESHOLD);
+    }
+
+    #[test]
+    fn watchdog_resets_on_any_progress() {
+        let mut w = Watchdog::new(0, 0);
+        // Stall almost to the threshold, then retire one uop.
+        let mut now = 0;
+        while now + WATCHDOG_INTERVAL < WEDGE_THRESHOLD {
+            now += WATCHDOG_INTERVAL;
+            assert_eq!(w.check(now, 0), None);
+        }
+        now += WATCHDOG_INTERVAL;
+        assert_eq!(
+            w.check(now, 1),
+            None,
+            "progress must reset the stall window"
+        );
+        now += WATCHDOG_INTERVAL;
+        assert_eq!(w.check(now, 1), None, "fresh window has not expired yet");
+    }
+
+    #[test]
+    fn watchdog_checks_are_interval_gated() {
+        let mut w = Watchdog::new(0, 0);
+        // Off-interval calls never fire, no matter how stalled.
+        for now in 1..WATCHDOG_INTERVAL {
+            assert_eq!(w.check(now, 0), None);
+        }
+    }
+
+    #[test]
+    fn build_error_messages_name_the_problem() {
+        let e = BuildError::WorkloadMismatch {
+            workloads: 3,
+            cores: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('4'), "{msg}");
+        let e = BuildError::InvalidConfig("faults.ring_delay_prob must be in [0, 1]".into());
+        assert!(e.to_string().contains("ring_delay_prob"));
+    }
 }

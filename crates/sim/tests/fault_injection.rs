@@ -1,0 +1,229 @@
+//! Chaos tests for the fault-injection layer: under arbitrary (valid)
+//! fault plans the simulator still terminates, still produces the same
+//! architectural state as a fault-free run (faults are timing-only),
+//! and remains bit-identical across reruns with the same seed. Plus
+//! run-outcome reporting: starved runs report `CapHit`, never a silent
+//! truncation.
+
+use emc_sim::{build_system, cycle_cap, BuildError, RunOutcome, System};
+use emc_types::{FaultPlan, Stats, SystemConfig};
+use emc_workloads::{build, Benchmark, SPILL_BASE};
+use proptest::prelude::*;
+
+/// Architectural fingerprint of a finished run: retired counts, final
+/// committed registers, and the spill words every benchmark writes.
+type ArchState = (Vec<u64>, Vec<[u64; 16]>, Vec<u64>);
+
+/// Run four copies of `bench` to completion (small iteration count)
+/// under `faults` and return the architectural state plus statistics.
+fn run_to_completion(faults: FaultPlan, bench: Benchmark, iters: u64) -> (ArchState, Stats) {
+    let mut cfg = SystemConfig::quad_core();
+    cfg.faults = faults;
+    let workloads: Vec<_> = (0..4).map(|i| build(bench, 50 + i, iters)).collect();
+    let mut sys = System::new(cfg, workloads).expect("build system");
+    let report = sys.run(u64::MAX, cycle_cap(100_000));
+    assert_eq!(
+        report.outcome,
+        RunOutcome::Completed,
+        "faulty run must still terminate: {:?}",
+        report.wedge
+    );
+    let stats = report.stats;
+    let retired = stats.cores.iter().map(|c| c.retired_uops).collect();
+    let regs = (0..4).map(|c| *sys.core(c).committed_regs()).collect();
+    let mem = (0..4)
+        .flat_map(|c| (0..8).map(move |k| (c, k)))
+        .map(|(c, k)| {
+            sys.core(c)
+                .mem
+                .read_u64(emc_types::Addr(SPILL_BASE + k * 8))
+        })
+        .collect();
+    ((retired, regs, mem), stats)
+}
+
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0..0.05f64,  // ring_delay_prob
+        1u64..32,      // ring_delay_cycles
+        0.0..0.02f64,  // dram_reissue_prob
+        1u64..200,     // dram_reissue_penalty
+        0.0..0.003f64, // emc_kill_prob (per busy context per cycle)
+        0.0..0.001f64, // mc_storm_prob
+        1u64..300,     // mc_storm_cycles
+    )
+        .prop_map(|(rp, rd, dp, dpen, kp, sp, sc)| FaultPlan {
+            enabled: true,
+            ring_delay_prob: rp,
+            ring_delay_cycles: rd,
+            dram_reissue_prob: dp,
+            dram_reissue_penalty: dpen,
+            emc_kill_prob: kp,
+            mc_storm_prob: sp,
+            mc_storm_cycles: sc,
+        })
+}
+
+fn baseline() -> &'static ArchState {
+    static BASELINE: std::sync::OnceLock<ArchState> = std::sync::OnceLock::new();
+    BASELINE.get_or_init(|| run_to_completion(FaultPlan::default(), Benchmark::Mcf, 120).0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any valid fault plan: the run terminates and its final
+    /// architectural state is bit-identical to the fault-free run —
+    /// faults perturb timing only.
+    #[test]
+    fn chaos_faults_are_architecturally_invisible(plan in fault_plan_strategy()) {
+        let (faulty, _) = run_to_completion(plan, Benchmark::Mcf, 120);
+        let clean = baseline();
+        prop_assert_eq!(&faulty.0, &clean.0, "retired-uop counts diverged under {:?}", plan);
+        prop_assert_eq!(&faulty.1, &clean.1, "final registers diverged under {:?}", plan);
+        prop_assert_eq!(&faulty.2, &clean.2, "spill memory diverged under {:?}", plan);
+    }
+
+    /// Same seed, same fault plan: reruns are bit-identical, faults and
+    /// all.
+    #[test]
+    fn chaos_runs_are_deterministic(plan in fault_plan_strategy()) {
+        let (state_a, a) = run_to_completion(plan, Benchmark::Mcf, 100);
+        let (state_b, b) = run_to_completion(plan, Benchmark::Mcf, 100);
+        prop_assert_eq!(state_a, state_b);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.mem.dram_reads, b.mem.dram_reads);
+        prop_assert_eq!(a.ring.injected_delays, b.ring.injected_delays);
+        prop_assert_eq!(a.mem.ecc_reissues, b.mem.ecc_reissues);
+        prop_assert_eq!(a.mem.backpressure_storms, b.mem.backpressure_storms);
+        for (ca, cb) in a.cores.iter().zip(&b.cores) {
+            prop_assert_eq!(ca.chains_aborted_injected, cb.chains_aborted_injected);
+            prop_assert_eq!(ca.emc_quiesce_events, cb.emc_quiesce_events);
+        }
+    }
+}
+
+#[test]
+fn chaos_plan_actually_injects_faults() {
+    let (_, stats) = run_to_completion(FaultPlan::chaos(), Benchmark::Mcf, 150);
+    assert!(
+        stats.ring.injected_delays > 0,
+        "no ring delays injected: {:?}",
+        stats.ring
+    );
+    assert!(
+        stats.mem.ecc_reissues > 0,
+        "no ECC re-issues injected: {:?}",
+        stats.mem
+    );
+}
+
+#[test]
+fn emc_kill_storm_degrades_gracefully() {
+    // An absurdly hostile kill rate: most chains die mid-flight. The
+    // run must still complete (cores re-execute locally), the injected
+    // aborts must be counted, and the per-core quiesce logic must kick
+    // in at least once.
+    let plan = FaultPlan {
+        enabled: true,
+        emc_kill_prob: 0.05,
+        ..FaultPlan::default()
+    };
+    let (state, stats) = run_to_completion(plan, Benchmark::Mcf, 120);
+    assert_eq!(&state, baseline(), "kill storm changed architectural state");
+    let injected: u64 = stats.cores.iter().map(|c| c.chains_aborted_injected).sum();
+    let quiesces: u64 = stats.cores.iter().map(|c| c.emc_quiesce_events).sum();
+    assert!(injected > 0, "kill storm never killed a chain");
+    assert!(
+        quiesces > 0,
+        "consecutive kills never triggered a quiesce: {injected} kills"
+    );
+}
+
+#[test]
+fn starved_run_reports_cap_hit_with_progress() {
+    // Budget far beyond what the cycle cap allows: the run must report
+    // CapHit — with real per-core progress — and never pretend it
+    // completed.
+    let mix = [
+        Benchmark::Mcf,
+        Benchmark::Sphinx3,
+        Benchmark::Soplex,
+        Benchmark::Libquantum,
+    ];
+    let mut sys = build_system(SystemConfig::quad_core(), &mix).expect("build system");
+    let report = sys.run(1_000_000_000, 20_000);
+    assert_eq!(report.outcome, RunOutcome::CapHit);
+    assert!(report.wedge.is_none(), "cap-hit is not a wedge");
+    assert!(!report.is_completed());
+    for (i, c) in report.stats.cores.iter().enumerate() {
+        assert!(
+            c.retired_uops > 0,
+            "core {i} shows no progress in a cap-hit report"
+        );
+        assert!(c.retired_uops < 1_000_000_000);
+    }
+}
+
+#[test]
+fn starved_warmup_reports_cap_hit_too() {
+    let mix = [
+        Benchmark::Mcf,
+        Benchmark::Sphinx3,
+        Benchmark::Soplex,
+        Benchmark::Libquantum,
+    ];
+    let mut sys = build_system(SystemConfig::quad_core(), &mix).expect("build system");
+    let report = sys.run_with_warmup(1_000_000_000, 2_000_000_000, 20_000);
+    assert_eq!(report.outcome, RunOutcome::CapHit);
+}
+
+#[test]
+#[should_panic(expected = "cycle cap")]
+fn expect_completed_fails_loudly_on_starved_run() {
+    let mix = [
+        Benchmark::Mcf,
+        Benchmark::Sphinx3,
+        Benchmark::Soplex,
+        Benchmark::Libquantum,
+    ];
+    let mut sys = build_system(SystemConfig::quad_core(), &mix).expect("build system");
+    let _ = sys.run(1_000_000_000, 20_000).expect_completed();
+}
+
+#[test]
+fn invalid_fault_plan_is_rejected_at_build_time() {
+    let mut cfg = SystemConfig::quad_core();
+    cfg.faults = FaultPlan {
+        enabled: true,
+        ring_delay_prob: 1.5,
+        ..FaultPlan::default()
+    };
+    let err = build_system(cfg, &[Benchmark::Mcf; 4])
+        .err()
+        .expect("must reject");
+    match err {
+        BuildError::InvalidConfig(msg) => {
+            assert!(
+                msg.contains("ring_delay_prob"),
+                "error must name the field: {msg}"
+            )
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn workload_count_mismatch_is_a_typed_error() {
+    let err = build_system(SystemConfig::quad_core(), &[Benchmark::Mcf; 3])
+        .err()
+        .expect("must reject");
+    assert_eq!(
+        err,
+        BuildError::WorkloadMismatch {
+            workloads: 3,
+            cores: 4
+        }
+    );
+    assert!(err.to_string().contains("one workload per core"));
+}

@@ -21,10 +21,10 @@ fn runahead_and_emc_compose() {
 
     // soplex mixes dependent chases with independent xorshift misses:
     // each mechanism must engage, and neither may break the other.
-    let b = run_homogeneous(base, Benchmark::Soplex, budget);
-    let r = run_homogeneous(ra, Benchmark::Soplex, budget);
-    let e = run_homogeneous(emc, Benchmark::Soplex, budget);
-    let be = run_homogeneous(both, Benchmark::Soplex, budget);
+    let b = run_homogeneous(base, Benchmark::Soplex, budget).expect_completed();
+    let r = run_homogeneous(ra, Benchmark::Soplex, budget).expect_completed();
+    let e = run_homogeneous(emc, Benchmark::Soplex, budget).expect_completed();
+    let be = run_homogeneous(both, Benchmark::Soplex, budget).expect_completed();
 
     assert!(r.cores.iter().map(|c| c.runahead_entries).sum::<u64>() > 0);
     assert!(e.emc.chains_executed > 0);
@@ -50,8 +50,8 @@ fn runahead_prefetches_independent_misses_at_system_level() {
     let mut ra = base.clone();
     ra.core.runahead = true;
     // milc has streams + a chase; the streams give runahead real targets.
-    let b = run_homogeneous(base, Benchmark::Milc, budget);
-    let r = run_homogeneous(ra, Benchmark::Milc, budget);
+    let b = run_homogeneous(base, Benchmark::Milc, budget).expect_completed();
+    let r = run_homogeneous(ra, Benchmark::Milc, budget).expect_completed();
     let reqs: u64 = r.cores.iter().map(|c| c.runahead_requests).sum();
     assert!(reqs > 0, "runahead must issue prefetching requests");
     // Speculative requests warm the caches; performance must not regress

@@ -12,14 +12,23 @@ fn small(cfg: SystemConfig) -> SystemConfig {
 #[test]
 fn quad_core_mix_runs_and_reports() {
     let mix = mix_by_name("H4").unwrap();
-    let stats = run_mix(small(SystemConfig::quad_core().without_emc()), &mix, 20_000);
+    let stats =
+        run_mix(small(SystemConfig::quad_core().without_emc()), &mix, 20_000).expect_completed();
     assert_eq!(stats.cores.len(), 4);
     for (i, c) in stats.cores.iter().enumerate() {
-        assert!(c.retired_uops >= 20_000, "core {i} retired {}", c.retired_uops);
+        assert!(
+            c.retired_uops >= 20_000,
+            "core {i} retired {}",
+            c.retired_uops
+        );
         assert!(c.ipc() > 0.01 && c.ipc() < 4.0, "core {i} IPC {}", c.ipc());
     }
     // mcf (core 0) must be memory-bound with dependent misses.
-    assert!(stats.cores[0].llc_misses > 50, "mcf misses: {}", stats.cores[0].llc_misses);
+    assert!(
+        stats.cores[0].llc_misses > 50,
+        "mcf misses: {}",
+        stats.cores[0].llc_misses
+    );
     assert!(
         stats.cores[0].dependent_miss_fraction() > 0.2,
         "mcf dependent fraction: {}",
@@ -38,7 +47,7 @@ fn quad_core_mix_runs_and_reports() {
 #[test]
 fn emc_generates_chains_and_misses() {
     let mix = mix_by_name("H4").unwrap();
-    let stats = run_mix(small(SystemConfig::quad_core()), &mix, 20_000);
+    let stats = run_mix(small(SystemConfig::quad_core()), &mix, 20_000).expect_completed();
     let chains: u64 = stats.cores.iter().map(|c| c.chains_sent).sum();
     assert!(chains > 0, "no chains were ever generated");
     assert!(stats.emc.chains_executed > 0, "no chains executed");
@@ -64,9 +73,11 @@ fn emc_is_architecturally_transparent() {
     let mk = |emc: bool| {
         let mut cfg = SystemConfig::quad_core();
         cfg.emc.enabled = emc;
-        let w: Vec<_> = (0..4).map(|i| build(Benchmark::Mcf, 100 + i, 120)).collect();
-        let mut sys = System::new(cfg, w);
-        let stats = sys.run(u64::MAX, 3_000_000);
+        let w: Vec<_> = (0..4)
+            .map(|i| build(Benchmark::Mcf, 100 + i, 120))
+            .collect();
+        let mut sys = System::new(cfg, w).expect("build system");
+        let stats = sys.run(u64::MAX, 3_000_000).expect_completed();
         (sys, stats)
     };
     let (_sys_off, off) = mk(false);
@@ -85,8 +96,8 @@ fn emc_is_architecturally_transparent() {
 #[test]
 fn determinism_same_seed_same_stats() {
     let mix = mix_by_name("H1").unwrap();
-    let a = run_mix(small(SystemConfig::quad_core()), &mix, 10_000);
-    let b = run_mix(small(SystemConfig::quad_core()), &mix, 10_000);
+    let a = run_mix(small(SystemConfig::quad_core()), &mix, 10_000).expect_completed();
+    let b = run_mix(small(SystemConfig::quad_core()), &mix, 10_000).expect_completed();
     assert_eq!(a.cycles, b.cycles);
     for c in 0..4 {
         assert_eq!(a.cores[c].retired_uops, b.cores[c].retired_uops);
@@ -99,9 +110,16 @@ fn determinism_same_seed_same_stats() {
 
 #[test]
 fn prefetchers_run_and_cover_misses() {
-    let mix = [Benchmark::Libquantum, Benchmark::Lbm, Benchmark::Bwaves, Benchmark::Milc];
-    let cfg = SystemConfig::quad_core().without_emc().with_prefetcher(PrefetcherKind::Stream);
-    let stats = run_mix(small(cfg), &mix, 20_000);
+    let mix = [
+        Benchmark::Libquantum,
+        Benchmark::Lbm,
+        Benchmark::Bwaves,
+        Benchmark::Milc,
+    ];
+    let cfg = SystemConfig::quad_core()
+        .without_emc()
+        .with_prefetcher(PrefetcherKind::Stream);
+    let stats = run_mix(small(cfg), &mix, 20_000).expect_completed();
     assert!(stats.prefetch.issued > 0, "stream prefetcher idle");
     assert!(
         stats.prefetch.useful > 0,
@@ -117,13 +135,20 @@ fn prefetchers_run_and_cover_misses() {
 fn eight_core_configs_run() {
     let mix4 = mix_by_name("H5").unwrap();
     let mix8 = emc_sim::eight_core_mix(mix4);
-    for cfg in [SystemConfig::eight_core_1mc(), SystemConfig::eight_core_2mc()] {
-        let stats = run_mix(small(cfg.clone()), &mix8, 5_000);
+    for cfg in [
+        SystemConfig::eight_core_1mc(),
+        SystemConfig::eight_core_2mc(),
+    ] {
+        let stats = run_mix(small(cfg.clone()), &mix8, 5_000).expect_completed();
         assert_eq!(stats.cores.len(), 8);
         for c in &stats.cores {
             assert!(c.retired_uops >= 5_000 || c.cycles > 0);
         }
-        assert!(stats.mem.dram_reads > 0, "{:?} no DRAM traffic", cfg.memory_controllers);
+        assert!(
+            stats.mem.dram_reads > 0,
+            "{:?} no DRAM traffic",
+            cfg.memory_controllers
+        );
     }
 }
 
@@ -134,7 +159,7 @@ fn prefetch_drop_never_starves_merged_demands() {
     // starved a core for exactly this reason).
     for pf in [PrefetcherKind::Stream, PrefetcherKind::MarkovStream] {
         let cfg = SystemConfig::quad_core().without_emc().with_prefetcher(pf);
-        let stats = emc_sim::run_homogeneous(cfg, Benchmark::Sphinx3, 8_000);
+        let stats = emc_sim::run_homogeneous(cfg, Benchmark::Sphinx3, 8_000).expect_completed();
         for (i, c) in stats.cores.iter().enumerate() {
             assert!(
                 c.retired_uops >= 8_000,
@@ -154,9 +179,13 @@ fn unusual_core_counts_work() {
     for cores in [1usize, 2] {
         let mut cfg = SystemConfig::quad_core();
         cfg.cores = cores;
-        let w: Vec<_> = (0..cores).map(|i| build(Benchmark::Omnetpp, i as u64, 50_000_000)).collect();
-        let mut sys = System::new(cfg, w);
-        let stats = sys.run_with_warmup(2_000, 4_000, 10_000_000);
+        let w: Vec<_> = (0..cores)
+            .map(|i| build(Benchmark::Omnetpp, i as u64, 50_000_000))
+            .collect();
+        let mut sys = System::new(cfg, w).expect("build system");
+        let stats = sys
+            .run_with_warmup(2_000, 4_000, 10_000_000)
+            .expect_completed();
         assert_eq!(stats.cores.len(), cores);
         for c in &stats.cores {
             assert!(c.retired_uops >= 4_000, "{cores}-core run stalled");
@@ -167,13 +196,17 @@ fn unusual_core_counts_work() {
 
 #[test]
 fn sim_makes_forward_progress_under_cap() {
-    // Guard: a full run never hits the cycle cap (no deadlock).
+    // Guard: a full run completes — it neither hits the cycle cap nor
+    // trips the forward-progress watchdog.
     let mix = mix_by_name("H4").unwrap();
-    let mut sys = build_system(SystemConfig::quad_core(), &mix);
+    let mut sys = build_system(SystemConfig::quad_core(), &mix).expect("build system");
     let budget = 10_000;
-    let stats = sys.run(budget, cycle_cap(budget));
-    assert!(
-        stats.cycles < cycle_cap(budget),
-        "simulation hit the cycle cap: likely deadlock"
+    let report = sys.run(budget, cycle_cap(budget));
+    assert_eq!(
+        report.outcome,
+        emc_sim::RunOutcome::Completed,
+        "simulation did not complete: {:?}",
+        report.wedge
     );
+    assert!(report.stats.cycles < cycle_cap(budget));
 }

@@ -105,12 +105,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 32 KB, 8-way, 3-cycle L1 (Table 1).
     pub fn l1() -> Self {
-        CacheConfig { bytes: 32 * 1024, ways: 8, latency: 3, mshrs: 16 }
+        CacheConfig {
+            bytes: 32 * 1024,
+            ways: 8,
+            latency: 3,
+            mshrs: 16,
+        }
     }
 
     /// 1 MB, 8-way, 18-cycle LLC slice (Table 1).
     pub fn llc_slice() -> Self {
-        CacheConfig { bytes: 1024 * 1024, ways: 8, latency: 18, mshrs: 32 }
+        CacheConfig {
+            bytes: 1024 * 1024,
+            ways: 8,
+            latency: 18,
+            mshrs: 32,
+        }
     }
 
     /// Number of sets given 64-byte lines.
@@ -131,7 +141,10 @@ pub struct RingConfig {
 
 impl Default for RingConfig {
     fn default() -> Self {
-        RingConfig { link_cycles: 1, stop_cycles: 1 }
+        RingConfig {
+            link_cycles: 1,
+            stop_cycles: 1,
+        }
     }
 }
 
@@ -268,6 +281,30 @@ pub struct EmcConfig {
     /// the paper; higher values find the pointer-chase chain when the
     /// head is a leaf payload miss — see DESIGN.md deviation 4).
     pub chain_candidates: usize,
+    /// Graceful degradation: after this many *consecutive* chain
+    /// failures (aborts/cancels with no completed chain in between) on
+    /// one core, the EMC quiesces chain generation for that core for a
+    /// backoff window instead of thrashing the abort path.
+    #[serde(default = "default_quiesce_threshold")]
+    pub quiesce_threshold: u32,
+    /// Initial quiesce backoff window in cycles; doubles on every
+    /// repeated quiesce (saturating at [`EmcConfig::quiesce_backoff_max`])
+    /// and resets when a chain completes.
+    #[serde(default = "default_quiesce_backoff")]
+    pub quiesce_backoff: u64,
+    /// Saturation point for the quiesce backoff window.
+    #[serde(default = "default_quiesce_backoff_max")]
+    pub quiesce_backoff_max: u64,
+}
+
+fn default_quiesce_threshold() -> u32 {
+    8
+}
+fn default_quiesce_backoff() -> u64 {
+    512
+}
+fn default_quiesce_backoff_max() -> u64 {
+    16_384
 }
 
 impl Default for EmcConfig {
@@ -289,7 +326,105 @@ impl Default for EmcConfig {
             miss_pred_threshold: 4,
             dep_counter_trigger: 2,
             chain_candidates: 4,
+            quiesce_threshold: default_quiesce_threshold(),
+            quiesce_backoff: default_quiesce_backoff(),
+            quiesce_backoff_max: default_quiesce_backoff_max(),
         }
+    }
+}
+
+/// Deterministic fault-injection plan: every fault is *timing-only* —
+/// it delays, re-issues, or aborts work that the existing retry and
+/// chain-abort/re-execute paths then recover, so architectural state is
+/// bit-identical to a fault-free run. All draws come from seeded
+/// [`substream`](crate::rng::substream)s of [`SystemConfig::seed`], so
+/// a faulty run is exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master switch; when false no fault RNG is even constructed and
+    /// the simulation is cycle-identical to a build without this field.
+    pub enabled: bool,
+    /// Per-message probability that a ring hop is delayed (models a
+    /// flit retry after a link-level CRC error).
+    pub ring_delay_prob: f64,
+    /// Extra cycles added to a delayed ring message.
+    pub ring_delay_cycles: u64,
+    /// Per-DRAM-issue probability that the access is re-issued (models
+    /// an ECC correction + retransmit) with a latency penalty.
+    pub dram_reissue_prob: f64,
+    /// Extra cycles of service latency for a re-issued DRAM access.
+    pub dram_reissue_penalty: u64,
+    /// Per-cycle, per-busy-context probability that an EMC issue
+    /// context is killed mid-chain; the chain aborts through the normal
+    /// abort path and the home core re-executes the uops locally.
+    pub emc_kill_prob: f64,
+    /// Per-cycle, per-MC probability that a queue-full backpressure
+    /// storm starts: the controller advertises a reduced effective
+    /// queue capacity for a window, forcing enqueue rejections/retries.
+    pub mc_storm_prob: f64,
+    /// Length of a backpressure storm in cycles.
+    pub mc_storm_cycles: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            enabled: false,
+            ring_delay_prob: 0.0,
+            ring_delay_cycles: 0,
+            dram_reissue_prob: 0.0,
+            dram_reissue_penalty: 0,
+            emc_kill_prob: 0.0,
+            mc_storm_prob: 0.0,
+            mc_storm_cycles: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A moderate chaos preset: every fault class active at rates that
+    /// stress the recovery paths without starving forward progress.
+    pub fn chaos() -> Self {
+        FaultPlan {
+            enabled: true,
+            ring_delay_prob: 0.02,
+            ring_delay_cycles: 24,
+            dram_reissue_prob: 0.01,
+            dram_reissue_penalty: 100,
+            emc_kill_prob: 0.001,
+            mc_storm_prob: 0.0005,
+            mc_storm_cycles: 200,
+        }
+    }
+
+    /// True iff any fault class can actually fire.
+    pub fn any_active(&self) -> bool {
+        self.enabled
+            && (self.ring_delay_prob > 0.0
+                || self.dram_reissue_prob > 0.0
+                || self.emc_kill_prob > 0.0
+                || self.mc_storm_prob > 0.0)
+    }
+
+    /// Validate the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("ring_delay_prob", self.ring_delay_prob),
+            ("dram_reissue_prob", self.dram_reissue_prob),
+            ("emc_kill_prob", self.emc_kill_prob),
+            ("mc_storm_prob", self.mc_storm_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!(
+                    "fault {name} must be a probability in [0, 1], got {p}"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -321,6 +456,9 @@ pub struct SystemConfig {
     /// Idealization for Figure 2's limit study: loads that are data-
     /// dependent on an in-flight LLC miss are served as LLC hits.
     pub ideal_dependent_hits: bool,
+    /// Deterministic timing-fault injection (disabled by default).
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl SystemConfig {
@@ -340,6 +478,7 @@ impl SystemConfig {
             emc: EmcConfig::default(),
             seed: 0x00c0_ffee,
             ideal_dependent_hits: false,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -372,6 +511,12 @@ impl SystemConfig {
     /// Select a prefetcher configuration.
     pub fn with_prefetcher(mut self, pf: PrefetcherKind) -> Self {
         self.prefetcher = pf;
+        self
+    }
+
+    /// Enable a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -415,6 +560,7 @@ impl SystemConfig {
         if self.core.rob_entries == 0 || self.core.rs_entries == 0 {
             return Err("core window must be non-empty".into());
         }
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -504,6 +650,55 @@ mod tests {
         let mut c = SystemConfig::quad_core();
         c.l1.bytes = 3000; // not a power-of-two set count
         assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::quad_core();
+        c.faults.ring_delay_prob = 1.5;
+        let err = c.validate().unwrap_err();
+        assert!(
+            err.contains("ring_delay_prob"),
+            "error names the field: {err}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_defaults_are_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.enabled);
+        assert!(!plan.any_active());
+        plan.validate().unwrap();
+        // A config carrying the default plan is valid and identical to
+        // the preset.
+        assert_eq!(SystemConfig::quad_core().faults, plan);
+    }
+
+    #[test]
+    fn fault_plan_chaos_is_valid_and_active() {
+        let plan = FaultPlan::chaos();
+        plan.validate().unwrap();
+        assert!(plan.any_active());
+        let cfg = SystemConfig::quad_core().with_faults(plan);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.faults, plan);
+    }
+
+    #[test]
+    fn fault_plan_serde_round_trip() {
+        let cfg = SystemConfig::quad_core().with_faults(FaultPlan::chaos());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        // Configs serialized before the fault layer existed (no
+        // `faults` key) still deserialize, with faults disabled.
+        let legacy = json.replace(
+            &format!(
+                ",\"faults\":{}",
+                serde_json::to_string(&cfg.faults).unwrap()
+            ),
+            "",
+        );
+        assert!(!legacy.contains("faults"), "failed to strip faults key");
+        let back: SystemConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.faults, FaultPlan::default());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod addr;
 pub mod config;
 pub mod mem_image;
+pub mod outcome;
 pub mod program;
 pub mod req;
 pub mod rng;
@@ -33,13 +34,14 @@ pub mod uop;
 
 pub use addr::{physical_line, Addr, LineAddr, PageAddr, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use config::{
-    CacheConfig, CoreConfig, DramConfig, EmcConfig, PrefetchConfig, PrefetcherKind, RingConfig,
-    SystemConfig,
+    CacheConfig, CoreConfig, DramConfig, EmcConfig, FaultPlan, PrefetchConfig, PrefetcherKind,
+    RingConfig, SystemConfig,
 };
 pub use mem_image::MemoryImage;
+pub use outcome::{RunOutcome, RunReport, WedgeCoreState, WedgeEmcContext, WedgeReport};
 pub use program::{Program, StaticUop};
 pub use req::{AccessKind, MemReq, ReqId, ReqTimeline, Requester};
-pub use rng::seeded_rng;
+pub use rng::{seeded_rng, substream};
 pub use stats::{CoreStats, EmcStats, LatencyStat, MemStats, RingStats, Stats};
 pub use uop::{BranchCond, Reg, UopKind, NUM_ARCH_REGS};
 

@@ -1,0 +1,274 @@
+//! Typed run outcomes: every full-system run reports *how* it ended,
+//! not just its statistics. A run that hits the cycle cap or wedges
+//! (no core retires anything for a long window) can no longer be
+//! mistaken for a completed measurement — harnesses must inspect the
+//! [`RunOutcome`] (or call [`RunReport::expect_completed`], which fails
+//! loudly with the full [`WedgeReport`] diagnosis).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::stats::Stats;
+use crate::Cycle;
+
+/// How a simulation run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Every core reached its retired-uop budget (or finished its
+    /// program). The statistics are a valid measurement.
+    Completed,
+    /// The cycle cap elapsed before every core reached its budget. The
+    /// statistics cover a truncated window and must not be published as
+    /// a completed measurement.
+    CapHit,
+    /// The forward-progress watchdog fired: no core retired a single
+    /// uop for the whole watchdog window. The run was aborted and a
+    /// [`WedgeReport`] captured the scheduler state at the wedge point.
+    Wedged,
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed => f.write_str("completed"),
+            RunOutcome::CapHit => f.write_str("cycle-cap hit"),
+            RunOutcome::Wedged => f.write_str("wedged"),
+        }
+    }
+}
+
+/// Per-core state captured when the watchdog declares a wedge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WedgeCoreState {
+    /// Core index.
+    pub core: usize,
+    /// Benchmark running on this core.
+    pub bench: String,
+    /// Uops retired so far (measurement window).
+    pub retired_uops: u64,
+    /// ROB occupancy at the wedge point.
+    pub rob_len: usize,
+    /// Whether the core's program had already run to completion.
+    pub finished: bool,
+    /// Number of uops in the chain this core has in flight at an EMC,
+    /// if any.
+    pub active_chain_uops: Option<usize>,
+    /// Formatted description of the ROB head entry (kind, state,
+    /// remote/llc-miss flags, address), if the ROB is non-empty.
+    pub rob_head: Option<String>,
+}
+
+/// EMC issue-context occupancy captured at the wedge point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WedgeEmcContext {
+    /// Which memory controller's EMC.
+    pub mc: usize,
+    /// Context slot index.
+    pub ctx: usize,
+    /// Home core of the chain occupying the slot.
+    pub home_core: usize,
+    /// Chain length in uops.
+    pub chain_uops: usize,
+    /// Whether the chain is still waiting for its source miss data.
+    pub awaiting_source: bool,
+}
+
+/// Structured diagnosis of a wedged run: what every scheduler-visible
+/// queue looked like when forward progress stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WedgeReport {
+    /// Cycle at which the wedge was declared.
+    pub cycle: Cycle,
+    /// How many cycles passed with zero retirement before declaring it.
+    pub stalled_for: Cycle,
+    /// Per-core progress and ROB head state.
+    pub cores: Vec<WedgeCoreState>,
+    /// Memory-controller queue depths.
+    pub mc_queue_depths: Vec<usize>,
+    /// Memory-controller retry-queue depths (rejected enqueues).
+    pub mc_retry_depths: Vec<usize>,
+    /// Occupied EMC issue contexts.
+    pub emc_contexts: Vec<WedgeEmcContext>,
+    /// Cache lines with outstanding fills.
+    pub outstanding_lines: usize,
+    /// Events still queued in the scheduler.
+    pub pending_events: usize,
+}
+
+impl fmt::Display for WedgeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "WEDGE at cycle {}: no core retired a uop for {} cycles",
+            self.cycle, self.stalled_for
+        )?;
+        for c in &self.cores {
+            write!(
+                f,
+                "  core {} ({}): retired={} rob_len={}{}{}",
+                c.core,
+                c.bench,
+                c.retired_uops,
+                c.rob_len,
+                if c.finished { " finished" } else { "" },
+                match c.active_chain_uops {
+                    Some(n) => format!(" active_chain={n}uops"),
+                    None => String::new(),
+                },
+            )?;
+            match &c.rob_head {
+                Some(h) => writeln!(f, " head[{h}]")?,
+                None => writeln!(f)?,
+            }
+        }
+        writeln!(
+            f,
+            "  mc queues: {:?} retry: {:?}",
+            self.mc_queue_depths, self.mc_retry_depths
+        )?;
+        for e in &self.emc_contexts {
+            writeln!(
+                f,
+                "  emc {} ctx {}: home_core={} chain={}uops awaiting_source={}",
+                e.mc, e.ctx, e.home_core, e.chain_uops, e.awaiting_source
+            )?;
+        }
+        write!(
+            f,
+            "  outstanding lines: {}  pending events: {}",
+            self.outstanding_lines, self.pending_events
+        )
+    }
+}
+
+/// The result of a full-system run: final statistics plus a typed
+/// outcome, and the wedge diagnosis when the watchdog fired.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// How the run terminated.
+    pub outcome: RunOutcome,
+    /// Statistics accumulated over the measurement window. For
+    /// [`RunOutcome::CapHit`] and [`RunOutcome::Wedged`] these cover a
+    /// truncated window.
+    pub stats: Stats,
+    /// Scheduler-state diagnosis, present iff `outcome` is `Wedged`.
+    pub wedge: Option<WedgeReport>,
+}
+
+impl RunReport {
+    /// True iff every core reached its budget.
+    pub fn is_completed(&self) -> bool {
+        self.outcome == RunOutcome::Completed
+    }
+
+    /// Unwrap the statistics of a completed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full diagnosis (including the [`WedgeReport`]
+    /// for wedged runs, or per-core progress for cap-hit runs) if the
+    /// run did not complete — a truncated run can never silently pass
+    /// as a measurement.
+    pub fn expect_completed(self) -> Stats {
+        match self.outcome {
+            RunOutcome::Completed => self.stats,
+            RunOutcome::Wedged => {
+                let report = self
+                    .wedge
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "(no wedge report captured)".into());
+                panic!("simulation wedged:\n{report}");
+            }
+            RunOutcome::CapHit => {
+                let progress: Vec<u64> = self.stats.cores.iter().map(|c| c.retired_uops).collect();
+                panic!(
+                    "simulation hit the cycle cap after {} cycles before every core \
+                     reached its budget; per-core retired uops: {:?}",
+                    self.stats.cycles, progress
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_wedge() -> WedgeReport {
+        WedgeReport {
+            cycle: 123_456,
+            stalled_for: 250_000,
+            cores: vec![WedgeCoreState {
+                core: 0,
+                bench: "mcf".into(),
+                retired_uops: 42,
+                rob_len: 256,
+                finished: false,
+                active_chain_uops: Some(5),
+                rob_head: Some("Load Issued remote=false llc_miss=true".into()),
+            }],
+            mc_queue_depths: vec![64],
+            mc_retry_depths: vec![3],
+            emc_contexts: vec![WedgeEmcContext {
+                mc: 0,
+                ctx: 1,
+                home_core: 0,
+                chain_uops: 5,
+                awaiting_source: true,
+            }],
+            outstanding_lines: 17,
+            pending_events: 4,
+        }
+    }
+
+    #[test]
+    fn wedge_report_display_names_every_queue() {
+        let s = sample_wedge().to_string();
+        assert!(s.contains("WEDGE at cycle 123456"));
+        assert!(s.contains("core 0 (mcf)"));
+        assert!(s.contains("mc queues: [64] retry: [3]"));
+        assert!(s.contains("emc 0 ctx 1"));
+        assert!(s.contains("outstanding lines: 17"));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation wedged")]
+    fn expect_completed_panics_on_wedge_with_report() {
+        let report = RunReport {
+            outcome: RunOutcome::Wedged,
+            stats: Stats::new(1),
+            wedge: Some(sample_wedge()),
+        };
+        let _ = report.expect_completed();
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle cap")]
+    fn expect_completed_panics_on_cap_hit() {
+        let report = RunReport {
+            outcome: RunOutcome::CapHit,
+            stats: Stats::new(2),
+            wedge: None,
+        };
+        let _ = report.expect_completed();
+    }
+
+    #[test]
+    fn completed_run_unwraps() {
+        let report = RunReport {
+            outcome: RunOutcome::Completed,
+            stats: Stats::new(2),
+            wedge: None,
+        };
+        assert!(report.is_completed());
+        assert_eq!(report.expect_completed().cores.len(), 2);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(RunOutcome::Completed.to_string(), "completed");
+        assert_eq!(RunOutcome::CapHit.to_string(), "cycle-cap hit");
+        assert_eq!(RunOutcome::Wedged.to_string(), "wedged");
+    }
+}

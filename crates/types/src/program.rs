@@ -37,27 +37,57 @@ pub struct StaticUop {
 impl StaticUop {
     /// An ALU uop `dst = kind(a, b)`.
     pub fn alu(kind: UopKind, dst: Reg, a: Reg, b: Option<Reg>, imm: u64) -> Self {
-        StaticUop { kind, dst: Some(dst), srcs: [Some(a), b], imm, target: None }
+        StaticUop {
+            kind,
+            dst: Some(dst),
+            srcs: [Some(a), b],
+            imm,
+            target: None,
+        }
     }
 
     /// A register-immediate move `dst = imm`.
     pub fn mov_imm(dst: Reg, imm: u64) -> Self {
-        StaticUop { kind: UopKind::Mov, dst: Some(dst), srcs: [None, None], imm, target: None }
+        StaticUop {
+            kind: UopKind::Mov,
+            dst: Some(dst),
+            srcs: [None, None],
+            imm,
+            target: None,
+        }
     }
 
     /// A register move `dst = src`.
     pub fn mov(dst: Reg, src: Reg) -> Self {
-        StaticUop { kind: UopKind::Mov, dst: Some(dst), srcs: [Some(src), None], imm: 0, target: None }
+        StaticUop {
+            kind: UopKind::Mov,
+            dst: Some(dst),
+            srcs: [Some(src), None],
+            imm: 0,
+            target: None,
+        }
     }
 
     /// A load `dst = mem[base + disp]`.
     pub fn load(dst: Reg, base: Reg, disp: u64) -> Self {
-        StaticUop { kind: UopKind::Load, dst: Some(dst), srcs: [Some(base), None], imm: disp, target: None }
+        StaticUop {
+            kind: UopKind::Load,
+            dst: Some(dst),
+            srcs: [Some(base), None],
+            imm: disp,
+            target: None,
+        }
     }
 
     /// A store `mem[base + disp] = value`.
     pub fn store(base: Reg, value: Reg, disp: u64) -> Self {
-        StaticUop { kind: UopKind::Store, dst: None, srcs: [Some(base), Some(value)], imm: disp, target: None }
+        StaticUop {
+            kind: UopKind::Store,
+            dst: None,
+            srcs: [Some(base), Some(value)],
+            imm: disp,
+            target: None,
+        }
     }
 
     /// A conditional branch on `cond(reg)` to `target`.
@@ -82,9 +112,7 @@ impl StaticUop {
                 };
                 (a, 0)
             }
-            UopKind::Not | UopKind::SignExtend => {
-                (self.srcs[0].map(&mut read).unwrap_or(0), 0)
-            }
+            UopKind::Not | UopKind::SignExtend => (self.srcs[0].map(&mut read).unwrap_or(0), 0),
             _ => {
                 let a = self.srcs[0].map(&mut read).unwrap_or(0);
                 let b = match self.srcs[1] {
@@ -219,7 +247,13 @@ pub struct ArchState {
 pub fn run_reference(program: &Program, mem: &mut MemoryImage, max_dyn_uops: u64) -> ArchState {
     let mut regs = [0u64; NUM_ARCH_REGS];
     let mut pc = 0usize;
-    let mut st = ArchState { regs, dyn_uops: 0, loads: 0, stores: 0, capped: false };
+    let mut st = ArchState {
+        regs,
+        dyn_uops: 0,
+        loads: 0,
+        stores: 0,
+        capped: false,
+    };
     while pc < program.uops.len() {
         if st.dyn_uops >= max_dyn_uops {
             st.capped = true;
@@ -296,10 +330,7 @@ mod tests {
 
     #[test]
     fn cap_stops_infinite_loop() {
-        let p = Program::new(
-            vec![StaticUop::branch(BranchCond::Always, None, 0)],
-            0,
-        );
+        let p = Program::new(vec![StaticUop::branch(BranchCond::Always, None, 0)], 0);
         let mut mem = MemoryImage::new();
         let st = run_reference(&p, &mut mem, 100);
         assert!(st.capped);

@@ -102,7 +102,10 @@ pub struct ReqTimeline {
 impl ReqTimeline {
     /// Start a timeline at `created`.
     pub fn start(created: Cycle) -> Self {
-        ReqTimeline { created, ..Default::default() }
+        ReqTimeline {
+            created,
+            ..Default::default()
+        }
     }
 
     /// Pure DRAM service latency (command issue to data return), if the
@@ -217,7 +220,10 @@ mod tests {
     #[test]
     fn requester_classification() {
         let c = Requester::Core(2);
-        let e = Requester::Emc { home_core: 1, mc: 0 };
+        let e = Requester::Emc {
+            home_core: 1,
+            mc: 0,
+        };
         let p = Requester::Prefetcher(3);
         assert_eq!(c.home_core(), 2);
         assert_eq!(e.home_core(), 1);

@@ -85,6 +85,11 @@ pub struct CoreStats {
     pub chains_aborted_tlb: u64,
     /// Chains cancelled for memory-disambiguation conflicts.
     pub chains_cancelled_disambiguation: u64,
+    /// Chains killed by injected EMC context faults (fault injection).
+    pub chains_aborted_injected: u64,
+    /// Times graceful degradation quiesced chain generation for this
+    /// core after consecutive chain failures.
+    pub emc_quiesce_events: u64,
     /// Demand misses by this core that hit in a prefetched line.
     pub prefetch_covered_misses: u64,
     /// Times the core entered runahead mode.
@@ -174,6 +179,11 @@ pub struct MemStats {
     pub dram_service_latency: LatencyStat,
     /// On-chip delay across demand misses (Figure 1).
     pub on_chip_delay: LatencyStat,
+    /// DRAM accesses re-issued with a latency penalty by injected
+    /// ECC-style faults.
+    pub ecc_reissues: u64,
+    /// Injected queue-full backpressure storms started.
+    pub backpressure_storms: u64,
 }
 
 impl MemStats {
@@ -207,6 +217,8 @@ pub struct RingStats {
     pub emc_data_msgs: u64,
     /// Total hop·message products (for occupancy/energy).
     pub total_hops: u64,
+    /// Messages hit by an injected ring delay fault.
+    pub injected_delays: u64,
 }
 
 /// EMC statistics (§6.3, Figures 15, 17, 21, 22).
@@ -298,7 +310,10 @@ pub struct Stats {
 impl Stats {
     /// Create stats for `cores` cores.
     pub fn new(cores: usize) -> Self {
-        Stats { cores: vec![CoreStats::default(); cores], ..Default::default() }
+        Stats {
+            cores: vec![CoreStats::default(); cores],
+            ..Default::default()
+        }
     }
 
     /// Sum of per-core IPCs (throughput metric).
@@ -313,7 +328,11 @@ impl Stats {
     ///
     /// Panics if `baseline_ipcs.len()` differs from the core count.
     pub fn weighted_speedup(&self, baseline_ipcs: &[f64]) -> f64 {
-        assert_eq!(baseline_ipcs.len(), self.cores.len(), "baseline core count mismatch");
+        assert_eq!(
+            baseline_ipcs.len(),
+            self.cores.len(),
+            "baseline core count mismatch"
+        );
         self.cores
             .iter()
             .zip(baseline_ipcs)
@@ -455,7 +474,12 @@ mod tests {
 
     #[test]
     fn row_conflict_rate() {
-        let m = MemStats { row_hits: 50, row_conflicts: 25, row_empties: 25, ..Default::default() };
+        let m = MemStats {
+            row_hits: 50,
+            row_conflicts: 25,
+            row_empties: 25,
+            ..Default::default()
+        };
         assert_eq!(m.row_conflict_rate(), 0.25);
         assert_eq!(m.dram_traffic(), 0);
     }

@@ -212,7 +212,12 @@ mod tests {
         ] {
             assert!(k.emc_allowed(), "{k} must be EMC-allowed");
         }
-        for k in [UopKind::IntMul, UopKind::FpAdd, UopKind::FpMul, UopKind::Nop] {
+        for k in [
+            UopKind::IntMul,
+            UopKind::FpAdd,
+            UopKind::FpMul,
+            UopKind::Nop,
+        ] {
             assert!(!k.emc_allowed(), "{k} must not be EMC-allowed");
         }
     }
@@ -227,7 +232,11 @@ mod tests {
         assert_eq!(UopKind::Not.alu(0, 99), u64::MAX);
         assert_eq!(UopKind::Shl.alu(1, 4), 16);
         assert_eq!(UopKind::Shr.alu(16, 4), 1);
-        assert_eq!(UopKind::Shl.alu(1, 64), 1, "shift amount is masked to 6 bits");
+        assert_eq!(
+            UopKind::Shl.alu(1, 64),
+            1,
+            "shift amount is masked to 6 bits"
+        );
         assert_eq!(UopKind::SignExtend.alu(0xffff_ffff, 0), u64::MAX);
         assert_eq!(UopKind::SignExtend.alu(0x7fff_ffff, 0), 0x7fff_ffff);
     }
@@ -256,7 +265,11 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        for k in [UopKind::IntAdd, UopKind::Branch(BranchCond::Always), UopKind::Nop] {
+        for k in [
+            UopKind::IntAdd,
+            UopKind::Branch(BranchCond::Always),
+            UopKind::Nop,
+        ] {
             assert!(!format!("{k}").is_empty());
             assert!(!format!("{k:?}").is_empty());
         }

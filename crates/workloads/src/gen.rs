@@ -80,7 +80,12 @@ pub fn build(bench: Benchmark, seed: u64, iterations: u64) -> Workload {
     let mut memory = MemoryImage::new();
     init_chase_regions(&p, &mut memory, &mut rng);
 
-    let mut e = Emitter { uops: Vec::new(), spill_slot: 0, acc: 0, chase_idx: 0 };
+    let mut e = Emitter {
+        uops: Vec::new(),
+        spill_slot: 0,
+        acc: 0,
+        chase_idx: 0,
+    };
     // --- preamble: architectural constants ---
     e.push(StaticUop::mov_imm(R_LOOP, iterations.max(1)));
     // Independent chase walkers start at opposite phases of the Sattolo
@@ -132,12 +137,21 @@ pub fn build(bench: Benchmark, seed: u64, iterations: u64) -> Workload {
 
     // --- loop control ---
     e.push(StaticUop::alu(UopKind::IntSub, R_LOOP, R_LOOP, None, 1));
-    e.push(StaticUop::branch(BranchCond::NotZero, Some(R_LOOP), loop_start));
+    e.push(StaticUop::branch(
+        BranchCond::NotZero,
+        Some(R_LOOP),
+        loop_start,
+    ));
 
     let body_uops = e.uops.len() - loop_start as usize;
     let program = Program::new(e.uops, 0x1_0000 * (bench as u64 + 1));
     debug_assert!(program.validate().is_ok());
-    Workload { bench, program, memory, body_uops }
+    Workload {
+        bench,
+        program,
+        memory,
+        body_uops,
+    }
 }
 
 /// Build with the default iteration cap ([`crate::DEFAULT_ITERATIONS`]).
@@ -259,7 +273,13 @@ impl Emitter {
         if p.stream_stores {
             self.push(StaticUop::store(R_STREAM, dst, STREAM_WB_OFFSET));
         }
-        self.push(StaticUop::alu(UopKind::IntAdd, R_STREAM, R_STREAM, None, p.stream_stride));
+        self.push(StaticUop::alu(
+            UopKind::IntAdd,
+            R_STREAM,
+            R_STREAM,
+            None,
+            p.stream_stride,
+        ));
         let acc = self.next_acc();
         self.push(StaticUop::alu(UopKind::IntAdd, acc, acc, Some(dst), 0));
     }
@@ -273,7 +293,13 @@ impl Emitter {
         self.push(StaticUop::alu(UopKind::Shr, R_T0, R_RNG, None, 7));
         self.push(StaticUop::alu(UopKind::Xor, R_RNG, R_RNG, Some(R_T0), 0));
         self.push(StaticUop::alu(UopKind::And, R_T0, R_RNG, Some(R_MASK), 0));
-        self.push(StaticUop::alu(UopKind::IntAdd, R_T0, R_T0, Some(R_RBASE), 0));
+        self.push(StaticUop::alu(
+            UopKind::IntAdd,
+            R_T0,
+            R_T0,
+            Some(R_RBASE),
+            0,
+        ));
         let dst = self.next_acc();
         self.push(StaticUop::load(dst, R_T0, 0));
     }
@@ -321,7 +347,11 @@ impl Emitter {
             self.push(StaticUop::alu(kind, dst, dst, None, imm));
         }
         for k in 0..fp_ops {
-            let kind = if k % 2 == 0 { UopKind::FpAdd } else { UopKind::FpMul };
+            let kind = if k % 2 == 0 {
+                UopKind::FpAdd
+            } else {
+                UopKind::FpMul
+            };
             self.push(StaticUop::alu(kind, R_FP, R_FP, Some(R_ACC[self.acc]), 0));
         }
     }
@@ -368,7 +398,11 @@ mod tests {
     #[test]
     fn chase_cycle_has_full_period() {
         // The Sattolo cycle must visit every node: walk it functionally.
-        let p = Profile { chase_lines: 64, payload_lines: 8, ..Benchmark::Mcf.profile() };
+        let p = Profile {
+            chase_lines: 64,
+            payload_lines: 8,
+            ..Benchmark::Mcf.profile()
+        };
         let mut mem = MemoryImage::new();
         let mut rng = seeded_rng(5);
         init_chase_regions(&p, &mut mem, &mut rng);

@@ -28,7 +28,7 @@ pub mod gen;
 pub mod profiles;
 
 pub use gen::{
-    build, build_default, Workload, CHASE_BASE, PAYLOAD_BASE, RANDOM_BASE, SPILL_BASE,
-    STREAM_BASE, STREAM_WB_OFFSET,
+    build, build_default, Workload, CHASE_BASE, PAYLOAD_BASE, RANDOM_BASE, SPILL_BASE, STREAM_BASE,
+    STREAM_WB_OFFSET,
 };
 pub use profiles::{mix_by_name, Benchmark, Profile, DEFAULT_ITERATIONS, QUAD_MIXES};

@@ -378,16 +378,96 @@ fn profile_of(b: Benchmark) -> Profile {
 
 /// The ten heterogeneous quad-core workloads of Table 3.
 pub const QUAD_MIXES: [(&str, [Benchmark; 4]); 10] = [
-    ("H1", [Benchmark::Bwaves, Benchmark::Lbm, Benchmark::Milc, Benchmark::Omnetpp]),
-    ("H2", [Benchmark::Soplex, Benchmark::Omnetpp, Benchmark::Bwaves, Benchmark::Libquantum]),
-    ("H3", [Benchmark::Sphinx3, Benchmark::Mcf, Benchmark::Omnetpp, Benchmark::Milc]),
-    ("H4", [Benchmark::Mcf, Benchmark::Sphinx3, Benchmark::Soplex, Benchmark::Libquantum]),
-    ("H5", [Benchmark::Lbm, Benchmark::Mcf, Benchmark::Libquantum, Benchmark::Bwaves]),
-    ("H6", [Benchmark::Lbm, Benchmark::Soplex, Benchmark::Mcf, Benchmark::Milc]),
-    ("H7", [Benchmark::Bwaves, Benchmark::Libquantum, Benchmark::Sphinx3, Benchmark::Omnetpp]),
-    ("H8", [Benchmark::Omnetpp, Benchmark::Soplex, Benchmark::Mcf, Benchmark::Bwaves]),
-    ("H9", [Benchmark::Lbm, Benchmark::Mcf, Benchmark::Libquantum, Benchmark::Soplex]),
-    ("H10", [Benchmark::Libquantum, Benchmark::Bwaves, Benchmark::Soplex, Benchmark::Omnetpp]),
+    (
+        "H1",
+        [
+            Benchmark::Bwaves,
+            Benchmark::Lbm,
+            Benchmark::Milc,
+            Benchmark::Omnetpp,
+        ],
+    ),
+    (
+        "H2",
+        [
+            Benchmark::Soplex,
+            Benchmark::Omnetpp,
+            Benchmark::Bwaves,
+            Benchmark::Libquantum,
+        ],
+    ),
+    (
+        "H3",
+        [
+            Benchmark::Sphinx3,
+            Benchmark::Mcf,
+            Benchmark::Omnetpp,
+            Benchmark::Milc,
+        ],
+    ),
+    (
+        "H4",
+        [
+            Benchmark::Mcf,
+            Benchmark::Sphinx3,
+            Benchmark::Soplex,
+            Benchmark::Libquantum,
+        ],
+    ),
+    (
+        "H5",
+        [
+            Benchmark::Lbm,
+            Benchmark::Mcf,
+            Benchmark::Libquantum,
+            Benchmark::Bwaves,
+        ],
+    ),
+    (
+        "H6",
+        [
+            Benchmark::Lbm,
+            Benchmark::Soplex,
+            Benchmark::Mcf,
+            Benchmark::Milc,
+        ],
+    ),
+    (
+        "H7",
+        [
+            Benchmark::Bwaves,
+            Benchmark::Libquantum,
+            Benchmark::Sphinx3,
+            Benchmark::Omnetpp,
+        ],
+    ),
+    (
+        "H8",
+        [
+            Benchmark::Omnetpp,
+            Benchmark::Soplex,
+            Benchmark::Mcf,
+            Benchmark::Bwaves,
+        ],
+    ),
+    (
+        "H9",
+        [
+            Benchmark::Lbm,
+            Benchmark::Mcf,
+            Benchmark::Libquantum,
+            Benchmark::Soplex,
+        ],
+    ),
+    (
+        "H10",
+        [
+            Benchmark::Libquantum,
+            Benchmark::Bwaves,
+            Benchmark::Soplex,
+            Benchmark::Omnetpp,
+        ],
+    ),
 ];
 
 /// Look up a Table 3 mix by name ("H1".."H10").
@@ -422,7 +502,10 @@ mod tests {
             let p = b.profile();
             assert!(p.chase_segments > 0 && p.chase_lines > 0, "{b} must chase");
             // Working set must overflow the 4 MB quad-core LLC.
-            assert!(p.chase_lines * 64 + p.payload_lines * 64 > 4 << 20, "{b} working set");
+            assert!(
+                p.chase_lines * 64 + p.payload_lines * 64 > 4 << 20,
+                "{b} working set"
+            );
         }
     }
 
@@ -433,7 +516,10 @@ mod tests {
             assert_eq!(p.chase_segments, 0, "{b} must not chase");
             assert!(p.stream_segments > 0);
         }
-        assert!(Benchmark::Lbm.profile().stream_stores, "lbm writes its streams");
+        assert!(
+            Benchmark::Lbm.profile().stream_stores,
+            "lbm writes its streams"
+        );
     }
 
     #[test]
@@ -451,7 +537,12 @@ mod tests {
         }
         assert_eq!(
             mix_by_name("H4").unwrap(),
-            [Benchmark::Mcf, Benchmark::Sphinx3, Benchmark::Soplex, Benchmark::Libquantum]
+            [
+                Benchmark::Mcf,
+                Benchmark::Sphinx3,
+                Benchmark::Soplex,
+                Benchmark::Libquantum
+            ]
         );
         assert!(mix_by_name("H11").is_none());
     }

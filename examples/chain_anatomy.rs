@@ -53,13 +53,17 @@ fn main() {
     let source = source.expect("source miss issued");
     println!(
         "full-window stall: {:?}, ROB occupancy {}\n",
-        core.full_window_stall().map(|id| format!("source rob {id}")),
+        core.full_window_stall()
+            .map(|id| format!("source rob {id}")),
         core.rob_len()
     );
 
     let g = generate_chain(&core, 0, source, &EmcConfig::default())
         .expect("the dependent chain exists");
-    println!("pseudo-wakeup walk took {} cycles (Figure 9)\n", g.gen_cycles);
+    println!(
+        "pseudo-wakeup walk took {} cycles (Figure 9)\n",
+        g.gen_cycles
+    );
     println!("{}", g.chain.render());
     println!(
         "The EMC receives this chain; when line A's data arrives from DRAM\n\

@@ -15,8 +15,9 @@ fn run8(cfg: SystemConfig, benches: &[Benchmark], budget: u64) -> emc_repro::Sta
         .enumerate()
         .map(|(i, &b)| build(b, substream(cfg.seed, i as u64), 50_000_000))
         .collect();
-    let mut sys = System::new(cfg, workloads);
+    let mut sys = System::new(cfg, workloads).expect("build system");
     sys.run_with_warmup(budget / 2, budget, cycle_cap(budget))
+        .expect_completed()
 }
 
 fn main() {
@@ -25,7 +26,10 @@ fn main() {
     let quad = mix_by_name("H9").expect("table 3 mix");
     let mut benches = quad.to_vec();
     benches.extend_from_slice(&quad);
-    println!("workload: 2 x H9 = {:?}\n", benches.iter().map(|b| b.name()).collect::<Vec<_>>());
+    println!(
+        "workload: 2 x H9 = {:?}\n",
+        benches.iter().map(|b| b.name()).collect::<Vec<_>>()
+    );
 
     for (label, cfg) in [
         ("8-core, 1 MC (Figure 11a)", SystemConfig::eight_core_1mc()),
@@ -36,8 +40,10 @@ fn main() {
         let base_ipcs: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
         let ws = emc.weighted_speedup(&base_ipcs) / 8.0;
         println!("{label}");
-        println!("  EMC contexts: {} per controller x {} controller(s)",
-            cfg.emc.contexts, cfg.memory_controllers);
+        println!(
+            "  EMC contexts: {} per controller x {} controller(s)",
+            cfg.emc.contexts, cfg.memory_controllers
+        );
         println!("  weighted speedup with EMC: {ws:.3}");
         println!("  chains executed: {}", emc.emc.chains_executed);
         println!(

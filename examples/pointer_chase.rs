@@ -12,7 +12,12 @@ fn main() {
     let budget = 30_000;
     println!("four copies of the mcf-like pointer chaser, Table-1 quad-core\n");
 
-    let base = run_homogeneous(SystemConfig::quad_core().without_emc(), Benchmark::Mcf, budget);
+    let base = run_homogeneous(
+        SystemConfig::quad_core().without_emc(),
+        Benchmark::Mcf,
+        budget,
+    )
+    .expect_completed();
     let c0 = &base.cores[0];
     println!("baseline characterization (core 0):");
     println!("  IPC                      {:.3}", c0.ipc());
@@ -30,14 +35,17 @@ fn main() {
         100.0 * c0.full_window_stall_cycles as f64 / c0.cycles as f64
     );
 
-    let emc = run_homogeneous(SystemConfig::quad_core(), Benchmark::Mcf, budget);
+    let emc = run_homogeneous(SystemConfig::quad_core(), Benchmark::Mcf, budget).expect_completed();
     println!("\nwith the Enhanced Memory Controller:");
     println!(
         "  chains generated         {}",
         emc.cores.iter().map(|c| c.chains_sent).sum::<u64>()
     );
     println!("  chains executed          {}", emc.emc.chains_executed);
-    println!("  mean chain length        {:.1} uops (16-uop buffer)", emc.mean_chain_uops());
+    println!(
+        "  mean chain length        {:.1} uops (16-uop buffer)",
+        emc.mean_chain_uops()
+    );
     println!(
         "  EMC-generated misses     {:.1}% of all LLC misses (paper Fig. 15)",
         100.0 * emc.emc_miss_fraction()

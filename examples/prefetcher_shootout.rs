@@ -11,16 +11,20 @@ fn main() {
     let budget = 30_000;
     for bench in [Benchmark::Libquantum, Benchmark::Mcf] {
         println!("=== {} x4 ===", bench.name());
-        let base =
-            run_homogeneous(SystemConfig::quad_core().without_emc(), bench, budget);
+        let base = run_homogeneous(SystemConfig::quad_core().without_emc(), bench, budget)
+            .expect_completed();
         let base_ipc: f64 = base.cores.iter().map(|c| c.ipc()).sum();
         println!(
             "{:<16} {:>9} {:>10} {:>10} {:>10} {:>12}",
             "prefetcher", "speedup", "issued", "accuracy", "dep-cov", "DRAM traffic"
         );
-        for pf in [PrefetcherKind::Ghb, PrefetcherKind::Stream, PrefetcherKind::MarkovStream] {
+        for pf in [
+            PrefetcherKind::Ghb,
+            PrefetcherKind::Stream,
+            PrefetcherKind::MarkovStream,
+        ] {
             let cfg = SystemConfig::quad_core().without_emc().with_prefetcher(pf);
-            let s = run_homogeneous(cfg, bench, budget);
+            let s = run_homogeneous(cfg, bench, budget).expect_completed();
             let ipc: f64 = s.cores.iter().map(|c| c.ipc()).sum();
             let covered: u64 = s.cores.iter().map(|c| c.dependent_misses_prefetched).sum();
             let dep: u64 = s.cores.iter().map(|c| c.dependent_llc_misses).sum();

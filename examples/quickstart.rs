@@ -12,9 +12,9 @@ fn main() {
     println!("workload H4: {:?}", mix.map(|b| b.name()));
 
     println!("running baseline (no EMC)...");
-    let base = run_mix(SystemConfig::quad_core().without_emc(), &mix, budget);
+    let base = run_mix(SystemConfig::quad_core().without_emc(), &mix, budget).expect_completed();
     println!("running with the Enhanced Memory Controller...");
-    let emc = run_mix(SystemConfig::quad_core(), &mix, budget);
+    let emc = run_mix(SystemConfig::quad_core(), &mix, budget).expect_completed();
 
     println!();
     println!("{:<12} {:>10} {:>10}", "core", "base IPC", "EMC IPC");

@@ -18,7 +18,7 @@
 //!
 //! // The paper's H4 mix on the Table-1 quad-core, EMC enabled.
 //! let mix = [Benchmark::Mcf, Benchmark::Sphinx3, Benchmark::Soplex, Benchmark::Libquantum];
-//! let stats = run_mix(SystemConfig::quad_core(), &mix, 2_000);
+//! let stats = run_mix(SystemConfig::quad_core(), &mix, 2_000).expect_completed();
 //! assert_eq!(stats.cores.len(), 4);
 //! ```
 
@@ -33,6 +33,8 @@ pub use emc_types;
 pub use emc_workloads;
 
 pub use emc_energy::{estimate_default, EnergyBreakdown, EnergyParams};
-pub use emc_sim::{build_system, run_homogeneous, run_mix, System, DEFAULT_BUDGET};
-pub use emc_types::{PrefetcherKind, Stats, SystemConfig};
+pub use emc_sim::{build_system, run_homogeneous, run_mix, BuildError, System, DEFAULT_BUDGET};
+pub use emc_types::{
+    FaultPlan, PrefetcherKind, RunOutcome, RunReport, Stats, SystemConfig, WedgeReport,
+};
 pub use emc_workloads::{build, mix_by_name, Benchmark, QUAD_MIXES};

@@ -10,8 +10,8 @@ use emc_sim::{cycle_cap, System};
 fn identical_seeds_give_identical_runs() {
     let mix = mix_by_name("H7").unwrap();
     let cfg = SystemConfig::quad_core().with_prefetcher(PrefetcherKind::Ghb);
-    let a = run_mix(cfg.clone(), &mix, 5_000);
-    let b = run_mix(cfg, &mix, 5_000);
+    let a = run_mix(cfg.clone(), &mix, 5_000).expect_completed();
+    let b = run_mix(cfg, &mix, 5_000).expect_completed();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.mem.dram_reads, b.mem.dram_reads);
     assert_eq!(a.mem.row_hits, b.mem.row_hits);
@@ -30,9 +30,9 @@ fn different_seeds_change_timing_not_sanity() {
     let mix = mix_by_name("H2").unwrap();
     let mut cfg = SystemConfig::quad_core();
     cfg.seed = 7;
-    let a = run_mix(cfg.clone(), &mix, 4_000);
+    let a = run_mix(cfg.clone(), &mix, 4_000).expect_completed();
     cfg.seed = 8;
-    let b = run_mix(cfg, &mix, 4_000);
+    let b = run_mix(cfg, &mix, 4_000).expect_completed();
     // Different memory layouts → different cycle counts, same sanity.
     assert_ne!(a.cycles, b.cycles);
     for s in [&a, &b] {
@@ -48,16 +48,16 @@ fn run_to_completion(emc: bool, bench: Benchmark) -> (Vec<u64>, Vec<[u64; 16]>, 
     let mut cfg = SystemConfig::quad_core();
     cfg.emc.enabled = emc;
     let workloads: Vec<_> = (0..4).map(|i| build(bench, 50 + i, 150)).collect();
-    let mut sys = System::new(cfg, workloads);
-    let stats = sys.run(u64::MAX, cycle_cap(100_000));
+    let mut sys = System::new(cfg, workloads).expect("build system");
+    let stats = sys.run(u64::MAX, cycle_cap(100_000)).expect_completed();
     let retired = stats.cores.iter().map(|c| c.retired_uops).collect();
     let regs = (0..4).map(|c| *sys.core(c).committed_regs()).collect();
     let mem = (0..4)
-        .flat_map(|c| {
-            (0..8).map(move |k| (c, k))
-        })
+        .flat_map(|c| (0..8).map(move |k| (c, k)))
         .map(|(c, k)| {
-            sys.core(c).mem.read_u64(emc_types::Addr(emc_workloads::SPILL_BASE + k * 8))
+            sys.core(c)
+                .mem
+                .read_u64(emc_types::Addr(emc_workloads::SPILL_BASE + k * 8))
         })
         .collect();
     (retired, regs, mem)
@@ -78,15 +78,19 @@ fn emc_is_architecturally_transparent_for_pointer_chasers() {
 fn energy_model_tracks_simulation_outputs() {
     let mix = mix_by_name("H5").unwrap();
     let cfg = SystemConfig::quad_core().without_emc();
-    let stats = run_mix(cfg.clone(), &mix, 5_000);
+    let stats = run_mix(cfg.clone(), &mix, 5_000).expect_completed();
     let e = estimate_default(&stats, &cfg);
     assert!(e.total_j() > 0.0);
-    assert!(e.dram_dynamic_j > 0.0, "memory-intensive mix must burn DRAM energy");
+    assert!(
+        e.dram_dynamic_j > 0.0,
+        "memory-intensive mix must burn DRAM energy"
+    );
     assert!(e.chip_static_j > 0.0);
     // Prefetching increases DRAM dynamic energy (Figure 23's mechanism).
-    let pf_cfg =
-        SystemConfig::quad_core().without_emc().with_prefetcher(PrefetcherKind::MarkovStream);
-    let pf_stats = run_mix(pf_cfg.clone(), &mix, 5_000);
+    let pf_cfg = SystemConfig::quad_core()
+        .without_emc()
+        .with_prefetcher(PrefetcherKind::MarkovStream);
+    let pf_stats = run_mix(pf_cfg.clone(), &mix, 5_000).expect_completed();
     let pe = estimate_default(&pf_stats, &pf_cfg);
     assert!(
         pf_stats.mem.dram_traffic() > stats.mem.dram_traffic(),
@@ -101,8 +105,8 @@ fn eight_core_dual_mc_is_transparent_too() {
         let mut cfg = SystemConfig::eight_core_2mc();
         cfg.emc.enabled = emc;
         let workloads: Vec<_> = (0..8).map(|i| build(Benchmark::Mcf, 90 + i, 80)).collect();
-        let mut sys = System::new(cfg, workloads);
-        let stats = sys.run(u64::MAX, cycle_cap(100_000));
+        let mut sys = System::new(cfg, workloads).expect("build system");
+        let stats = sys.run(u64::MAX, cycle_cap(100_000)).expect_completed();
         let retired: Vec<u64> = stats.cores.iter().map(|c| c.retired_uops).collect();
         let regs: Vec<[u64; 16]> = (0..8).map(|c| *sys.core(c).committed_regs()).collect();
         (retired, regs)

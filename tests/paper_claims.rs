@@ -8,9 +8,18 @@ const BUDGET: u64 = 6_000;
 #[test]
 fn dependent_miss_fractions_match_figure2_ordering() {
     // mcf: essentially all misses dependent; libquantum: none (Figure 2).
-    let mcf = run_homogeneous(SystemConfig::quad_core().without_emc(), Benchmark::Mcf, BUDGET);
-    let libq =
-        run_homogeneous(SystemConfig::quad_core().without_emc(), Benchmark::Libquantum, BUDGET);
+    let mcf = run_homogeneous(
+        SystemConfig::quad_core().without_emc(),
+        Benchmark::Mcf,
+        BUDGET,
+    )
+    .expect_completed();
+    let libq = run_homogeneous(
+        SystemConfig::quad_core().without_emc(),
+        Benchmark::Libquantum,
+        BUDGET,
+    )
+    .expect_completed();
     assert!(
         mcf.cores[0].dependent_miss_fraction() > 0.5,
         "mcf dependent fraction: {}",
@@ -29,7 +38,8 @@ fn dependent_miss_fractions_match_figure2_ordering() {
 #[test]
 fn emc_issued_misses_observe_lower_latency() {
     // The paper's 20%-lower-latency claim (Figure 18), directionally.
-    let stats = run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, BUDGET);
+    let stats =
+        run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, BUDGET).expect_completed();
     let core = stats.mem.core_miss_latency.mean();
     let emc = stats.mem.emc_miss_latency.mean();
     assert!(stats.emc.chains_executed > 0, "EMC must engage on omnetpp");
@@ -44,9 +54,14 @@ fn emc_issued_misses_observe_lower_latency() {
 fn emc_accelerates_pointer_chasing() {
     // Figure 13's qualitative claim: benchmarks with many dependent
     // misses benefit from the EMC.
-    let base =
-        run_homogeneous(SystemConfig::quad_core().without_emc(), Benchmark::Omnetpp, BUDGET);
-    let emc = run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, BUDGET);
+    let base = run_homogeneous(
+        SystemConfig::quad_core().without_emc(),
+        Benchmark::Omnetpp,
+        BUDGET,
+    )
+    .expect_completed();
+    let emc =
+        run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, BUDGET).expect_completed();
     let b: f64 = base.cores.iter().map(|c| c.ipc()).sum();
     let e: f64 = emc.cores.iter().map(|c| c.ipc()).sum();
     assert!(
@@ -59,18 +74,27 @@ fn emc_accelerates_pointer_chasing() {
 fn emc_leaves_streaming_workloads_roughly_alone() {
     // lbm has no dependent misses (Figure 2): the EMC neither engages
     // meaningfully nor wrecks it.
-    let base = run_homogeneous(SystemConfig::quad_core().without_emc(), Benchmark::Lbm, BUDGET);
-    let emc = run_homogeneous(SystemConfig::quad_core(), Benchmark::Lbm, BUDGET);
+    let base = run_homogeneous(
+        SystemConfig::quad_core().without_emc(),
+        Benchmark::Lbm,
+        BUDGET,
+    )
+    .expect_completed();
+    let emc = run_homogeneous(SystemConfig::quad_core(), Benchmark::Lbm, BUDGET).expect_completed();
     let b: f64 = base.cores.iter().map(|c| c.ipc()).sum();
     let e: f64 = emc.cores.iter().map(|c| c.ipc()).sum();
-    assert!(e > b * 0.9, "EMC must not slow lbm much: base {b:.3}, emc {e:.3}");
+    assert!(
+        e > b * 0.9,
+        "EMC must not slow lbm much: base {b:.3}, emc {e:.3}"
+    );
     let chains: u64 = emc.cores.iter().map(|c| c.chains_sent).sum();
     assert_eq!(chains, 0, "no dependence chains exist in lbm");
 }
 
 #[test]
 fn chains_match_figure22_bounds() {
-    let stats = run_homogeneous(SystemConfig::quad_core(), Benchmark::Mcf, BUDGET);
+    let stats =
+        run_homogeneous(SystemConfig::quad_core(), Benchmark::Mcf, BUDGET).expect_completed();
     let mean = stats.mean_chain_uops();
     assert!(stats.emc.chains_executed > 0);
     assert!(mean > 2.0 && mean <= 16.0, "chain length {mean}");
@@ -83,22 +107,39 @@ fn chains_match_figure22_bounds() {
 #[test]
 fn prefetchers_cover_streams_not_chases() {
     // Figure 3: pattern prefetchers cover few dependent misses.
-    let cfg = SystemConfig::quad_core().without_emc().with_prefetcher(PrefetcherKind::Stream);
-    let libq = run_homogeneous(cfg.clone(), Benchmark::Libquantum, BUDGET);
-    assert!(libq.prefetch.useful > 0, "stream prefetcher must cover libquantum");
-    let mcf = run_homogeneous(cfg, Benchmark::Mcf, BUDGET);
-    let covered: u64 = mcf.cores.iter().map(|c| c.dependent_misses_prefetched).sum();
+    let cfg = SystemConfig::quad_core()
+        .without_emc()
+        .with_prefetcher(PrefetcherKind::Stream);
+    let libq = run_homogeneous(cfg.clone(), Benchmark::Libquantum, BUDGET).expect_completed();
+    assert!(
+        libq.prefetch.useful > 0,
+        "stream prefetcher must cover libquantum"
+    );
+    let mcf = run_homogeneous(cfg, Benchmark::Mcf, BUDGET).expect_completed();
+    let covered: u64 = mcf
+        .cores
+        .iter()
+        .map(|c| c.dependent_misses_prefetched)
+        .sum();
     let dep: u64 = mcf.cores.iter().map(|c| c.dependent_llc_misses).sum();
     let frac = covered as f64 / (covered + dep).max(1) as f64;
-    assert!(frac < 0.5, "stream prefetcher must not cover mcf's chases: {frac}");
+    assert!(
+        frac < 0.5,
+        "stream prefetcher must not cover mcf's chases: {frac}"
+    );
 }
 
 #[test]
 fn ideal_dependent_hits_shows_figure2_headroom() {
     let mut ideal_cfg = SystemConfig::quad_core().without_emc();
     ideal_cfg.ideal_dependent_hits = true;
-    let base = run_homogeneous(SystemConfig::quad_core().without_emc(), Benchmark::Mcf, BUDGET);
-    let ideal = run_homogeneous(ideal_cfg, Benchmark::Mcf, BUDGET);
+    let base = run_homogeneous(
+        SystemConfig::quad_core().without_emc(),
+        Benchmark::Mcf,
+        BUDGET,
+    )
+    .expect_completed();
+    let ideal = run_homogeneous(ideal_cfg, Benchmark::Mcf, BUDGET).expect_completed();
     let b: f64 = base.cores.iter().map(|c| c.ipc()).sum();
     let i: f64 = ideal.cores.iter().map(|c| c.ipc()).sum();
     assert!(
@@ -111,8 +152,8 @@ fn ideal_dependent_hits_shows_figure2_headroom() {
 fn emc_traffic_overhead_is_small() {
     // §6.5/§6.6: the EMC adds modest traffic (unlike the prefetchers).
     let mix = emc_repro::mix_by_name("H3").unwrap();
-    let base = run_mix(SystemConfig::quad_core().without_emc(), &mix, BUDGET);
-    let emc = run_mix(SystemConfig::quad_core(), &mix, BUDGET);
+    let base = run_mix(SystemConfig::quad_core().without_emc(), &mix, BUDGET).expect_completed();
+    let emc = run_mix(SystemConfig::quad_core(), &mix, BUDGET).expect_completed();
     let t0 = base.mem.dram_traffic() as f64;
     let t1 = emc.mem.dram_traffic() as f64;
     assert!(
