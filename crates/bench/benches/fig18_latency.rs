@@ -1,7 +1,8 @@
 //! Figure 18 (scaled down): the headline per-request claim — LLC misses
 //! issued by the EMC observe lower latency than core-issued ones. The
-//! bench runs one EMC configuration and asserts the direction of the
-//! effect while measuring the harness cost.
+//! paper's figure is a distribution claim, so the assertion compares
+//! percentiles (p50 and p95), not just the mean, while measuring the
+//! harness cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use emc_sim::run_homogeneous;
@@ -15,15 +16,31 @@ fn bench_fig18(c: &mut Criterion) {
         b.iter(|| {
             let stats = run_homogeneous(SystemConfig::quad_core(), Benchmark::Omnetpp, 4_000)
                 .expect_completed();
-            let core = stats.mem.core_miss_latency.mean();
-            let emc = stats.mem.emc_miss_latency.mean();
-            if emc > 0.0 && core > 0.0 {
+            let core = &stats.mem.core_miss_latency;
+            let emc = &stats.mem.emc_miss_latency;
+            if emc.count > 0 && core.count > 0 {
                 assert!(
-                    emc < core * 1.05,
-                    "EMC-issued misses must not be slower: {emc:.0} vs {core:.0}"
+                    emc.mean() < core.mean() * 1.05,
+                    "EMC-issued misses must not be slower: {:.0} vs {:.0}",
+                    emc.mean(),
+                    core.mean()
+                );
+                // Log2 buckets are coarse, so allow one bucket (2x) of
+                // slack at the median and insist the tail not regress.
+                assert!(
+                    emc.p50() < core.p50() * 2,
+                    "EMC-issued median must not be slower: {} vs {}",
+                    emc.p50(),
+                    core.p50()
+                );
+                assert!(
+                    emc.p95() <= core.p95() * 2,
+                    "EMC-issued tail must not regress: p95 {} vs {}",
+                    emc.p95(),
+                    core.p95()
                 );
             }
-            std::hint::black_box((core, emc))
+            std::hint::black_box((core.p50(), core.p95(), emc.p50(), emc.p95()))
         });
     });
     g.finish();

@@ -27,5 +27,46 @@ fn bench_sim(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sim);
+/// Guard on the observability tax: with tracing disabled (the default),
+/// the simulator must run at baseline speed — the trace hooks compile
+/// down to a branch on a disabled sink. Criterion reports both
+/// configurations side by side so a regression in the disabled path
+/// shows up as the two bars separating; the traced run also asserts the
+/// zero-perturbation property (identical statistics).
+fn bench_observability_tax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observability_tax");
+    g.sample_size(10);
+    let bench = Benchmark::Mcf;
+    let baseline = {
+        let mut sys = build_system(SystemConfig::quad_core(), &[bench, bench, bench, bench])
+            .expect("build system");
+        sys.run(2_000, cycle_cap(2_000))
+    };
+    g.bench_function("tracing_disabled", |b| {
+        b.iter(|| {
+            let mut sys = build_system(SystemConfig::quad_core(), &[bench, bench, bench, bench])
+                .expect("build system");
+            let report = sys.run(2_000, cycle_cap(2_000));
+            assert_eq!(report.stats.cycles, baseline.stats.cycles);
+            std::hint::black_box(report)
+        });
+    });
+    g.bench_function("tracing_enabled", |b| {
+        b.iter(|| {
+            let mut sys = build_system(SystemConfig::quad_core(), &[bench, bench, bench, bench])
+                .expect("build system");
+            sys.enable_tracing();
+            sys.set_sample_interval(1_000);
+            let report = sys.run(2_000, cycle_cap(2_000));
+            assert_eq!(
+                report.stats.cycles, baseline.stats.cycles,
+                "tracing perturbed the simulation"
+            );
+            std::hint::black_box(report)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_observability_tax);
 criterion_main!(benches);

@@ -215,6 +215,19 @@ impl SetAssocCache {
         self.entries.iter().filter(|e| e.is_some()).count()
     }
 
+    /// Total line capacity (`sets * ways`). Together with
+    /// [`occupancy`](Self::occupancy) this gives the fill fraction the
+    /// time-series sampler reports per LLC slice.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Occupancy as parts-per-thousand of capacity (integer-friendly for
+    /// the metrics sampler; 1000 = completely full).
+    pub fn occupancy_permille(&self) -> u32 {
+        (self.occupancy() * 1000 / self.capacity()) as u32
+    }
+
     /// Iterate over all resident line addresses (diagnostics; order is
     /// unspecified).
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
@@ -235,6 +248,23 @@ mod tests {
             latency: 1,
             mshrs: 4,
         })
+    }
+
+    #[test]
+    fn occupancy_fraction_tracks_fills() {
+        let mut c = tiny();
+        assert_eq!(c.capacity(), 4);
+        assert_eq!(c.occupancy_permille(), 0);
+        c.fill(LineAddr(0), false, false);
+        c.fill(LineAddr(1), false, false);
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.occupancy_permille(), 500);
+        c.fill(LineAddr(2), false, false);
+        c.fill(LineAddr(3), false, false);
+        assert_eq!(c.occupancy_permille(), 1000);
+        // Evictions replace in place: still full.
+        c.fill(LineAddr(4), false, false);
+        assert_eq!(c.occupancy_permille(), 1000);
     }
 
     #[test]

@@ -240,6 +240,17 @@ impl Emc {
         self.contexts.iter().any(|c| c.is_none())
     }
 
+    /// Number of issue contexts currently occupied by a chain. The
+    /// time-series sampler reads this each epoch as EMC occupancy.
+    pub fn busy_contexts(&self) -> usize {
+        self.contexts.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Total number of issue contexts (occupied or free).
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
     /// The chain currently occupying `ctx`, if any (the simulator uses
     /// this to map load events back to home-core ROB ids).
     pub fn context_chain(&self, ctx: usize) -> Option<&Chain> {
@@ -836,9 +847,12 @@ mod tests {
     #[test]
     fn contexts_fill_and_reject() {
         let mut emc = Emc::new(&cfg(), 4);
+        assert_eq!(emc.busy_contexts(), 0);
         assert!(emc.start_chain(simple_chain(), 0).is_ok());
+        assert_eq!(emc.busy_contexts(), 1);
         assert!(emc.start_chain(simple_chain(), 0).is_ok());
         assert!(!emc.has_free_context(), "default EMC has 2 contexts");
+        assert_eq!(emc.busy_contexts(), emc.context_count());
         assert!(emc.start_chain(simple_chain(), 0).is_err());
         assert_eq!(emc.stats.chains_rejected_busy, 1);
     }

@@ -162,6 +162,10 @@ pub struct Core {
 
     finished_at: Option<Cycle>,
 
+    // --- observability ---
+    stall_since: Option<Cycle>,
+    finished_stall: Option<(Cycle, Cycle)>,
+
     // --- runahead execution (optional baseline, HPCA 2003) ---
     runahead: Option<Runahead>,
     committed_inv: [bool; NUM_ARCH_REGS],
@@ -202,6 +206,8 @@ impl Core {
             waiting_count: 0,
             mem_inflight: 0,
             finished_at: None,
+            stall_since: None,
+            finished_stall: None,
             runahead: None,
             committed_inv: [false; NUM_ARCH_REGS],
         }
@@ -274,6 +280,14 @@ impl Core {
         let head = self.rob.front()?;
         (head.uop.kind == UopKind::Load && head.llc_miss && head.state != EntryState::Done)
             .then_some(head.id)
+    }
+
+    /// The `(start, end)` of a full-window stall episode that ended this
+    /// cycle, if any — consumed by the tracing layer to emit one span
+    /// per episode. At most one episode can end per tick, so a one-slot
+    /// mailbox is lossless when polled every cycle.
+    pub fn take_finished_stall(&mut self) -> Option<(Cycle, Cycle)> {
+        self.finished_stall.take()
     }
 
     /// Whether the core is currently in a runahead episode.
@@ -492,11 +506,20 @@ impl Core {
             return;
         }
         self.stats.cycles = now;
-        if self.full_window_stall().is_some() {
+        let stall_head = self.full_window_stall();
+        if stall_head.is_some() {
             self.stats.full_window_stall_cycles += 1;
+            // Episode tracking: one histogram sample (and one trace
+            // span, via take_finished_stall) per contiguous stall.
+            if self.stall_since.is_none() {
+                self.stall_since = Some(now);
+            }
+        } else if let Some(start) = self.stall_since.take() {
+            self.stats.stall_episodes.record(now - start);
+            self.finished_stall = Some((start, now));
         }
         if self.cfg.runahead && self.runahead.is_none() {
-            if let Some(h) = self.full_window_stall() {
+            if let Some(h) = stall_head {
                 self.enter_runahead(h, now);
             }
         }
@@ -1235,6 +1258,55 @@ mod tests {
         let mut events = Vec::new();
         core.tick(2001, &mut events);
         assert!(core.full_window_stall().is_none());
+    }
+
+    #[test]
+    fn stall_episodes_recorded_once_per_contiguous_stall() {
+        let mut uops = vec![
+            StaticUop::mov_imm(Reg(0), 0x100),
+            StaticUop::load(Reg(1), Reg(0), 0),
+        ];
+        for _ in 0..300 {
+            uops.push(StaticUop::alu(UopKind::IntAdd, Reg(2), Reg(2), None, 1));
+        }
+        let p = Program::new(uops, 0);
+        let mut core = Core::new(&CoreConfig::default(), Arc::new(p), MemoryImage::new());
+        let mut events = Vec::new();
+        let mut load_id = None;
+        for now in 0..2000 {
+            core.tick(now, &mut events);
+            for ev in events.drain(..) {
+                if let CoreEvent::LoadIssued { rob, .. } = ev {
+                    load_id = Some(rob);
+                    core.mark_llc_miss(rob);
+                }
+            }
+            assert_eq!(
+                core.take_finished_stall(),
+                None,
+                "no episode ends while the stall persists"
+            );
+        }
+        assert_eq!(core.stats.stall_episodes.count, 0, "episode still open");
+        core.complete_load(load_id.unwrap(), 2000);
+        for now in 2000..2100 {
+            core.tick(now, &mut events);
+            events.clear();
+        }
+        assert_eq!(
+            core.stats.stall_episodes.count, 1,
+            "one contiguous stall = one histogram sample"
+        );
+        let (start, end) = core
+            .take_finished_stall()
+            .expect("the finished episode is handed to the tracer once");
+        assert!(end > start);
+        assert_eq!(core.stats.stall_episodes.max, end - start);
+        assert_eq!(
+            core.stats.stall_episodes.sum, core.stats.full_window_stall_cycles,
+            "episode cycles and per-cycle counter agree"
+        );
+        assert_eq!(core.take_finished_stall(), None, "mailbox is consumed");
     }
 
     #[test]

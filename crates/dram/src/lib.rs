@@ -160,6 +160,18 @@ impl Channel {
     pub fn bus_free_at(&self) -> Cycle {
         self.bus_free_at
     }
+
+    /// The open row in every bank, in bank-index order (`None` =
+    /// precharged). The time-series sampler reads this as the channel's
+    /// row-buffer state.
+    pub fn open_rows(&self) -> impl Iterator<Item = Option<u64>> + '_ {
+        self.banks.iter().map(|b| b.open_row)
+    }
+
+    /// Number of banks currently holding a row open.
+    pub fn open_bank_count(&self) -> usize {
+        self.banks.iter().filter(|b| b.open_row.is_some()).count()
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +275,20 @@ mod tests {
         assert_eq!(ch.open_row(loc(0, 3)), Some(3));
         ch.issue(loc(0, 8), false, 10_000);
         assert_eq!(ch.open_row(loc(0, 3)), Some(8));
+    }
+
+    #[test]
+    fn open_rows_expose_per_bank_state() {
+        let mut ch = Channel::new(&cfg());
+        assert_eq!(ch.open_bank_count(), 0);
+        ch.issue(loc(0, 3), false, 0);
+        ch.issue(loc(1, 5), false, 0);
+        assert_eq!(ch.open_bank_count(), 2);
+        let rows: Vec<Option<u64>> = ch.open_rows().collect();
+        assert_eq!(rows.len(), ch.bank_count());
+        assert_eq!(rows[ch.bank_index(loc(0, 3))], Some(3));
+        assert_eq!(rows[ch.bank_index(loc(1, 5))], Some(5));
+        assert_eq!(rows.iter().filter(|r| r.is_some()).count(), 2);
     }
 
     #[test]

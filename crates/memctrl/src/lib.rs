@@ -164,6 +164,21 @@ impl MemoryController {
         map_line(line, &self.cfg)
     }
 
+    /// The channels this MC owns, as `(global_channel, &Channel)` pairs,
+    /// for observability (per-bank row-buffer state sampling and DRAM
+    /// bank trace tracks).
+    pub fn channels(&self) -> impl Iterator<Item = (usize, &Channel)> + '_ {
+        self.owned_channels
+            .iter()
+            .copied()
+            .zip(self.channels.iter())
+    }
+
+    /// DRAM banks holding a row open, summed over owned channels.
+    pub fn open_bank_count(&self) -> usize {
+        self.channels.iter().map(|c| c.open_bank_count()).sum()
+    }
+
     /// Number of requests waiting in the queue.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -368,6 +383,21 @@ mod tests {
             channels: 1,
             ..DramConfig::default()
         }
+    }
+
+    #[test]
+    fn channel_observability_tracks_open_banks() {
+        let cfg = one_channel_cfg();
+        let mut mc = MemoryController::new(&cfg, vec![0]);
+        let mut stats = MemStats::default();
+        assert_eq!(mc.open_bank_count(), 0);
+        let pairs: Vec<usize> = mc.channels().map(|(g, _)| g).collect();
+        assert_eq!(pairs, vec![0], "owned global channel indices");
+        mc.enqueue(read(1, 0, 0, 0), 0).unwrap();
+        drain(&mut mc, &mut stats, 500);
+        assert_eq!(mc.open_bank_count(), 1, "the serviced bank holds its row");
+        let per_channel: usize = mc.channels().map(|(_, c)| c.open_bank_count()).sum();
+        assert_eq!(per_channel, mc.open_bank_count());
     }
 
     #[test]

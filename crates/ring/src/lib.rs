@@ -132,6 +132,18 @@ impl Ring {
         self.topo
     }
 
+    /// Number of links (across both rings and both directions) still
+    /// occupied by in-flight messages at cycle `now` — the sampler's
+    /// ring-utilization metric. The maximum is `4 * stops()`.
+    pub fn busy_links(&self, now: Cycle) -> usize {
+        self.free_at
+            .iter()
+            .flat_map(|dirs| dirs.iter())
+            .flat_map(|links| links.iter())
+            .filter(|&&free| free > now)
+            .count()
+    }
+
     /// Hop distance and direction (0 = clockwise) of the shorter path.
     fn route(&self, from: usize, to: usize) -> (usize, usize) {
         let n = self.topo.stops();
@@ -283,6 +295,19 @@ mod tests {
         assert_eq!(s.emc_data_msgs, 1);
         assert_eq!(s.control_msgs, 1);
         assert_eq!(s.emc_control_msgs, 1);
+    }
+
+    #[test]
+    fn busy_links_tracks_in_flight_messages() {
+        let (mut r, mut s) = quad();
+        assert_eq!(r.busy_links(0), 0, "idle ring has no busy links");
+        let arrive = r.send(RingKind::Data, 0, 2, 0, false, &mut s);
+        assert!(r.busy_links(0) > 0, "links occupied while in flight");
+        assert_eq!(
+            r.busy_links(arrive),
+            0,
+            "links free once the message arrives"
+        );
     }
 
     #[test]

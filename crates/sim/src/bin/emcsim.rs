@@ -4,16 +4,23 @@
 //!   emcsim [--mix H4 | --homog mcf] [--cores 4|8] [--mcs 1|2]
 //!          [--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]
 //!          [--budget N] [--seed N] [--faults] [--json]
+//!          [--metrics-out FILE] [--trace-out FILE] [--sample-interval N]
 //!
-//! Prints a human-readable report (or full JSON stats with `--json`).
+//! Prints a human-readable report with latency percentiles, or a
+//! machine-readable run summary with `--json`. `--metrics-out` writes
+//! the full statistics document (histograms + time-series samples);
+//! `--trace-out` writes a Chrome trace-event file loadable in Perfetto.
+//! Both are written even for wedged or capped runs, so a bad run still
+//! leaves its evidence behind.
 //!
 //! Exit codes: 0 on a completed run, 2 on bad arguments, 3 when the
 //! run wedged (the `WedgeReport` is printed to stderr), 4 when the
 //! cycle cap was hit before every core reached its budget.
 
-use emc_sim::{eight_core_mix, run_mix, RunOutcome};
-use emc_types::{FaultPlan, PrefetcherKind, SystemConfig};
+use emc_sim::{build_system, cycle_cap, eight_core_mix, metrics_json, summary_json, RunOutcome};
+use emc_types::{FaultPlan, Histogram, PrefetcherKind, SystemConfig};
 use emc_workloads::{mix_by_name, Benchmark};
+use std::io::Write;
 
 const EXIT_BAD_ARGS: i32 = 2;
 const EXIT_WEDGED: i32 = 3;
@@ -23,7 +30,8 @@ fn usage() {
     eprintln!(
         "usage: emcsim [--mix H1..H10 | --homog <bench>] [--cores 4|8] [--mcs 1|2]\n\
          \t[--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]\n\
-         \t[--budget N] [--seed N] [--faults] [--json]"
+         \t[--budget N] [--seed N] [--faults] [--json]\n\
+         \t[--metrics-out FILE] [--trace-out FILE] [--sample-interval N]"
     );
 }
 
@@ -48,6 +56,18 @@ fn parse_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, fl
         .unwrap_or_else(|_| bad_args(&format!("{flag}: expected a number, got {v:?}")))
 }
 
+/// One row of the latency percentile table.
+fn latency_row(label: &str, h: &Histogram) -> String {
+    format!(
+        "{label:<16} {:>8} {:>8} {:>8} {:>8} {:>8.0}",
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max,
+        h.mean()
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut mix_name = "H4".to_string();
@@ -61,6 +81,9 @@ fn main() {
     let mut seed = 0x00c0_ffeeu64;
     let mut faults = false;
     let mut json = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut sample_interval: Option<u64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mix" => mix_name = require_value(&mut args, "--mix"),
@@ -86,6 +109,11 @@ fn main() {
             "--seed" => seed = parse_value(&mut args, "--seed"),
             "--faults" => faults = true,
             "--json" => json = true,
+            "--metrics-out" => metrics_out = Some(require_value(&mut args, "--metrics-out")),
+            "--trace-out" => trace_out = Some(require_value(&mut args, "--trace-out")),
+            "--sample-interval" => {
+                sample_interval = Some(parse_value(&mut args, "--sample-interval"))
+            }
             other => bad_args(&format!("unknown flag {other:?}")),
         }
     }
@@ -132,7 +160,41 @@ fn main() {
         if faults { ", fault injection ON" } else { "" }
     );
     eprintln!("# workload: {}", names.join("+"));
-    let report = run_mix(cfg, &benches, budget);
+
+    let mut sys = build_system(cfg, &benches).unwrap_or_else(|e| bad_args(&e.to_string()));
+    if trace_out.is_some() {
+        sys.enable_tracing();
+    }
+    if let Some(iv) = sample_interval {
+        sys.set_sample_interval(iv);
+    }
+    let report = sys.run_with_warmup(budget / 2, budget, cycle_cap(budget));
+
+    // Exporters run before outcome handling: a wedged or capped run
+    // still writes its metrics and trace for post-mortem inspection.
+    let bench_names = sys.bench_names.clone();
+    if let Some(path) = &metrics_out {
+        let doc = metrics_json(&report.stats, &bench_names, report.outcome, sys.samples());
+        std::fs::write(path, doc.to_json() + "\n")
+            .unwrap_or_else(|e| bad_args(&format!("--metrics-out {path}: {e}")));
+        eprintln!("# metrics written to {path}");
+    }
+    if let Some(path) = &trace_out {
+        let f = std::fs::File::create(path)
+            .unwrap_or_else(|e| bad_args(&format!("--trace-out {path}: {e}")));
+        let mut w = std::io::BufWriter::new(f);
+        sys.trace()
+            .write_chrome_trace(&mut w)
+            .and_then(|()| w.flush())
+            .unwrap_or_else(|e| bad_args(&format!("--trace-out {path}: {e}")));
+        eprintln!(
+            "# trace written to {path} ({} events, {} journeys, {} dropped)",
+            sys.trace().events().len(),
+            sys.trace().journeys().len(),
+            sys.trace().dropped()
+        );
+    }
+
     match report.outcome {
         RunOutcome::Completed => {}
         RunOutcome::Wedged => {
@@ -157,7 +219,7 @@ fn main() {
     if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&stats).expect("stats serialize")
+            summary_json(&stats, &bench_names, report.outcome).to_json()
         );
         return;
     }
@@ -185,7 +247,26 @@ fn main() {
         "row conflict rate: {:.1}%",
         100.0 * stats.mem.row_conflict_rate()
     );
+    println!();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "latency (cyc)", "p50", "p95", "p99", "max", "mean"
+    );
+    println!("{}", latency_row("core miss", &stats.mem.core_miss_latency));
     if emc {
+        println!("{}", latency_row("emc miss", &stats.mem.emc_miss_latency));
+    }
+    println!(
+        "{}",
+        latency_row("dram service", &stats.mem.dram_service_latency)
+    );
+    println!(
+        "{}",
+        latency_row("mc queue", &stats.mem.core_queue_component)
+    );
+    println!("{}", latency_row("on-chip delay", &stats.mem.on_chip_delay));
+    if emc {
+        println!();
         println!(
             "EMC: {} chains, {:.1} uops/chain, {:.1}% of misses, dcache hit {:.1}%",
             stats.emc.chains_executed,
@@ -194,9 +275,8 @@ fn main() {
             100.0 * stats.emc.dcache_hit_rate()
         );
         println!(
-            "miss latency: core {:.0} vs EMC {:.0} cycles",
-            stats.mem.core_miss_latency.mean(),
-            stats.mem.emc_miss_latency.mean()
+            "{}",
+            latency_row("chain (ship→done)", &stats.emc.chain_latency)
         );
         if faults {
             let injected: u64 = stats.cores.iter().map(|c| c.chains_aborted_injected).sum();

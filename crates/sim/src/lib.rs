@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod metrics;
 pub mod runner;
 pub mod system;
 
 pub use emc_types::{RunOutcome, RunReport, WedgeReport};
+pub use metrics::{metrics_json, summary_json, Sampler, DEFAULT_SAMPLE_INTERVAL};
 pub use runner::{
     build_system, cycle_cap, eight_core_mix, run_homogeneous, run_mix, DEFAULT_BUDGET,
 };

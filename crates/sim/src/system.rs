@@ -5,6 +5,7 @@
 //! flow (paper Figures 7 and 11).
 
 use crate::events::{Ev, Scheduled};
+use crate::metrics::Sampler;
 use emc_cache::SetAssocCache;
 use emc_core::{generate_chain, AbortReason, DepMissCounter, Emc, EmcEvent, LoadRoute};
 use emc_cpu::{Core, CoreEvent, EntryState, RobId};
@@ -13,9 +14,9 @@ use emc_memctrl::MemoryController;
 use emc_prefetch::PrefetchEngine;
 use emc_ring::{Ring, RingKind, Topology};
 use emc_types::{
-    physical_line, substream, AccessKind, Addr, CoreId, CoreStats, Cycle, LineAddr, MemReq, ReqId,
-    Requester, RunOutcome, RunReport, Stats, SystemConfig, UopKind, WedgeCoreState,
-    WedgeEmcContext, WedgeReport, CACHE_LINE_BYTES,
+    physical_line, substream, AccessKind, Addr, CoreId, CoreStats, Cycle, LineAddr, MemReq,
+    MetricSample, MissJourney, ReqId, Requester, RunOutcome, RunReport, Stats, SystemConfig,
+    TraceSink, TraceTrack, UopKind, WedgeCoreState, WedgeEmcContext, WedgeReport, CACHE_LINE_BYTES,
 };
 use emc_workloads::Workload;
 use rand::rngs::SmallRng;
@@ -34,6 +35,9 @@ const FAULT_STREAM_EMC_KILL: u64 = 0xF200;
 const WATCHDOG_INTERVAL: Cycle = 10_000;
 /// Zero total retirement for this many cycles declares a wedge.
 const WEDGE_THRESHOLD: Cycle = 250_000;
+/// How many time-series samples a [`WedgeReport`] carries as the
+/// queue-depth history leading up to the wedge.
+const WEDGE_SAMPLE_HISTORY: usize = 8;
 
 /// Why a [`System`] could not be constructed from its inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +181,11 @@ pub struct System {
     next_req: u64,
     /// Accumulated system statistics (cores filled at snapshot time).
     pub stats: Stats,
+    trace: TraceSink,
+    sampler: Sampler,
+    /// Per EMC context: ship-start and execution-start cycles of the
+    /// chain currently occupying it (chain-latency attribution).
+    emc_ctx_ship: Vec<Vec<Option<(Cycle, Cycle)>>>,
     snapshots: Vec<Option<CoreStats>>,
     scratch_events: Vec<CoreEvent>,
     measure_start: Cycle,
@@ -267,6 +276,9 @@ impl System {
             emc_req_meta: HashMap::new(),
             next_req: 0,
             stats: Stats::new(cfg.cores),
+            trace: TraceSink::disabled(),
+            sampler: Sampler::default(),
+            emc_ctx_ship: vec![vec![None; cfg.emc.contexts]; cfg.memory_controllers],
             snapshots: vec![None; cfg.cores],
             scratch_events: Vec::new(),
             measure_start: 0,
@@ -290,6 +302,41 @@ impl System {
     /// Panics if `idx` is out of range.
     pub fn core(&self, idx: CoreId) -> &Core {
         &self.cores[idx]
+    }
+
+    // ==================================================================
+    // Observability
+    // ==================================================================
+
+    /// Enable miss-journey tracing with the default event cap. Until
+    /// this is called the sink is disabled and every trace call site
+    /// costs one predictable branch.
+    pub fn enable_tracing(&mut self) {
+        self.trace = TraceSink::enabled();
+    }
+
+    /// Enable tracing with an explicit buffered-event cap (events past
+    /// the cap are counted as dropped rather than stored).
+    pub fn enable_tracing_with_cap(&mut self, cap: usize) {
+        self.trace = TraceSink::enabled_with_cap(cap);
+    }
+
+    /// The trace sink: journey records, buffered events, drop count,
+    /// and the Chrome-trace exporter.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Set the time-series sampling interval in cycles. 0 disables
+    /// sampling entirely; the default is one sample per 10 k cycles
+    /// (which feeds wedge-report history at negligible cost).
+    pub fn set_sample_interval(&mut self, interval: Cycle) {
+        self.sampler.set_interval(interval);
+    }
+
+    /// Captured time-series samples, oldest first.
+    pub fn samples(&self) -> &[MetricSample] {
+        self.sampler.samples()
     }
 
     fn schedule(&mut self, at: Cycle, ev: Ev) {
@@ -454,6 +501,7 @@ impl System {
             emc_contexts,
             outstanding_lines: self.outstanding.len(),
             pending_events: self.events.len(),
+            recent_samples: self.sampler.recent(WEDGE_SAMPLE_HISTORY).to_vec(),
         }
     }
 
@@ -468,6 +516,8 @@ impl System {
             e.stats = Default::default();
         }
         self.snapshots = vec![None; self.cfg.cores];
+        // Warmup-phase samples are discarded like every other statistic.
+        self.sampler.clear();
     }
 
     fn all_cores_done(&self, budget: u64) -> bool {
@@ -510,8 +560,90 @@ impl System {
         self.maybe_generate_chains();
         self.drain_prefetchers();
         self.tick_cores();
+        self.observe();
         self.take_snapshots(budget);
         self.now += 1;
+    }
+
+    /// Per-cycle observability hook: close finished ROB-stall spans and
+    /// capture a time-series sample when one is due. With tracing off
+    /// and sampling between epochs this is a branch per core plus one
+    /// comparison.
+    fn observe(&mut self) {
+        if self.trace.is_enabled() {
+            for c in 0..self.cfg.cores {
+                if let Some((start, end)) = self.cores[c].take_finished_stall() {
+                    self.trace
+                        .span(TraceTrack::Core(c), "full-window stall", start, end, vec![]);
+                }
+            }
+        }
+        if self.sampler.due(self.now) {
+            let s = self.capture_sample();
+            if self.trace.is_enabled() {
+                self.emit_sample_counters(&s);
+            }
+            self.sampler.push(s);
+        }
+    }
+
+    /// Read every scheduler-visible queue occupancy at `now`.
+    fn capture_sample(&self) -> MetricSample {
+        MetricSample {
+            cycle: self.now,
+            mc_queue_depth: self.mcs.iter().map(|m| m.queue_len() as u32).collect(),
+            mc_retry_depth: self.mc_retry.iter().map(|r| r.len() as u32).collect(),
+            banks_open: self
+                .mcs
+                .iter()
+                .map(|m| m.open_bank_count() as u32)
+                .collect(),
+            emc_busy_contexts: self.emcs.iter().map(|e| e.busy_contexts() as u32).collect(),
+            ring_busy_links: self.ring.busy_links(self.now) as u32,
+            outstanding_misses: self.outstanding.len() as u32,
+            llc_occupancy: self.llc.iter().map(|c| c.occupancy_permille()).collect(),
+            rob_occupancy: self.cores.iter().map(|c| c.rob_len() as u32).collect(),
+        }
+    }
+
+    /// Mirror a sample onto counter tracks in the Chrome trace.
+    fn emit_sample_counters(&mut self, s: &MetricSample) {
+        for (m, &d) in s.mc_queue_depth.iter().enumerate() {
+            self.trace
+                .counter(TraceTrack::Mc(m), "mc queue depth", s.cycle, u64::from(d));
+        }
+        for (m, &d) in s.banks_open.iter().enumerate() {
+            self.trace
+                .counter(TraceTrack::Mc(m), "banks open", s.cycle, u64::from(d));
+        }
+        for (m, &d) in s.emc_busy_contexts.iter().enumerate() {
+            self.trace.counter(
+                TraceTrack::Mc(m),
+                "emc busy contexts",
+                s.cycle,
+                u64::from(d),
+            );
+        }
+        self.trace.counter(
+            TraceTrack::Ring,
+            "busy links",
+            s.cycle,
+            u64::from(s.ring_busy_links),
+        );
+        self.trace.counter(
+            TraceTrack::Ring,
+            "outstanding misses",
+            s.cycle,
+            u64::from(s.outstanding_misses),
+        );
+        for (sl, &occ) in s.llc_occupancy.iter().enumerate() {
+            self.trace.counter(
+                TraceTrack::LlcSlice(sl),
+                "occupancy permille",
+                s.cycle,
+                u64::from(occ),
+            );
+        }
     }
 
     fn take_snapshots(&mut self, budget: u64) {
@@ -974,6 +1106,21 @@ impl System {
                 .mem
                 .core_queue_component
                 .record(t.mc_queue_delay().unwrap_or(0));
+            if self.trace.is_enabled() {
+                self.trace.journey(MissJourney {
+                    req: req.id,
+                    core: req.requester.home_core(),
+                    emc: false,
+                    line: req.line.0,
+                    created: t.created,
+                    llc_arrive: t.llc_arrive,
+                    mc_enqueue: t.mc_enqueue,
+                    dram_issue: t.dram_issue,
+                    dram_done: t.dram_done,
+                    delivered: self.now,
+                    row_hit: t.row_hit,
+                });
+            }
         }
     }
 
@@ -1023,6 +1170,32 @@ impl System {
             return;
         }
         let pline = req.line;
+        if self.trace.is_enabled() {
+            // One span per DRAM access on the serviced bank's track.
+            let t = req.timeline;
+            if let (Some(issue), Some(done)) = (t.dram_issue, t.dram_done) {
+                let loc = map_line(pline, &self.cfg.dram);
+                let bank = loc.rank * self.cfg.dram.banks_per_rank + loc.bank;
+                self.trace.span(
+                    TraceTrack::Bank {
+                        mc,
+                        channel: loc.channel,
+                        bank,
+                    },
+                    if t.row_hit == Some(true) {
+                        "dram row hit"
+                    } else {
+                        "dram access"
+                    },
+                    issue,
+                    done,
+                    vec![
+                        ("req", req.id.0),
+                        ("row_hit", t.row_hit.map(u64::from).unwrap_or(0)),
+                    ],
+                );
+            }
+        }
         if self.cfg.emc.enabled {
             // Every line from DRAM passes through this EMC's data cache
             // (§4.1.3).
@@ -1107,6 +1280,21 @@ impl System {
                     .mem
                     .emc_queue_component
                     .record(t.mc_queue_delay().unwrap_or(0));
+                if self.trace.is_enabled() {
+                    self.trace.journey(MissJourney {
+                        req: req.id,
+                        core: req.requester.home_core(),
+                        emc: true,
+                        line: pline.0,
+                        created: t.created,
+                        llc_arrive: t.llc_arrive,
+                        mc_enqueue: t.mc_enqueue,
+                        dram_issue: t.dram_issue,
+                        dram_done: t.dram_done,
+                        delivered: deliver_at,
+                        row_hit: t.row_hit,
+                    });
+                }
                 self.schedule(
                     deliver_at,
                     Ev::EmcLoadDone {
@@ -1501,6 +1689,20 @@ impl System {
         self.on_emc_results(mc, ctx);
         let fin = self.emcs[mc].take_finished(ctx);
         self.emc_ctx_tag[mc][ctx] += 1;
+        if let Some((ship_start, exec_start)) = self.emc_ctx_ship[mc][ctx].take() {
+            // Chain latency: ship departure to last uop retired at the EMC.
+            self.emcs[mc]
+                .stats
+                .chain_latency
+                .record(self.now.saturating_sub(ship_start));
+            self.trace.span(
+                TraceTrack::EmcCtx { mc, ctx },
+                "chain execute",
+                exec_start.min(self.now),
+                self.now,
+                vec![("uops", fin.chain.uops.len() as u64)],
+            );
+        }
         let core = fin.chain.home_core;
         self.pending_sources.remove(&(core, fin.chain.source_rob));
         self.active_chain[core] = None;
@@ -1513,6 +1715,15 @@ impl System {
     fn on_chain_aborted(&mut self, mc: usize, ctx: usize, reason: AbortReason) {
         let fin = self.emcs[mc].take_finished(ctx);
         self.emc_ctx_tag[mc][ctx] += 1;
+        if let Some((_, exec_start)) = self.emc_ctx_ship[mc][ctx].take() {
+            self.trace.span(
+                TraceTrack::EmcCtx { mc, ctx },
+                "chain aborted",
+                exec_start.min(self.now),
+                self.now,
+                vec![],
+            );
+        }
         let core = fin.chain.home_core;
         self.pending_sources.remove(&(core, fin.chain.source_rob));
         match reason {
@@ -1648,6 +1859,16 @@ impl System {
                 self.chain_cooldown[core] = self.now + 32;
                 continue;
             };
+            self.emc_ctx_ship[dest_mc][ctx] = Some((start, arrive));
+            if self.trace.is_enabled() {
+                self.trace.span(
+                    TraceTrack::EmcCtx { mc: dest_mc, ctx },
+                    "chain ship",
+                    start,
+                    arrive,
+                    vec![("core", core as u64), ("uops", rob_ids.len() as u64)],
+                );
+            }
             self.cores[core].stats.chains_sent += 1;
             self.cores[core].stats.chain_uops_sent += rob_ids.len() as u64;
             self.cores[core].stats.record_chain_length(rob_ids.len());
@@ -1941,6 +2162,7 @@ fn merge_emc(into: &mut emc_types::EmcStats, from: &emc_types::EmcStats) {
     into.chains_rejected_busy += from.chains_rejected_busy;
     into.branch_mispredicts_detected += from.branch_mispredicts_detected;
     into.requests_covered_by_prefetch += from.requests_covered_by_prefetch;
+    into.chain_latency.merge(&from.chain_latency);
 }
 
 #[cfg(test)]

@@ -24,12 +24,16 @@
 
 pub mod addr;
 pub mod config;
+pub mod hist;
+pub mod json;
 pub mod mem_image;
 pub mod outcome;
 pub mod program;
 pub mod req;
 pub mod rng;
+pub mod sample;
 pub mod stats;
+pub mod trace;
 pub mod uop;
 
 pub use addr::{physical_line, Addr, LineAddr, PageAddr, CACHE_LINE_BYTES, PAGE_BYTES};
@@ -37,12 +41,16 @@ pub use config::{
     CacheConfig, CoreConfig, DramConfig, EmcConfig, FaultPlan, PrefetchConfig, PrefetcherKind,
     RingConfig, SystemConfig,
 };
+pub use hist::{Histogram, HISTOGRAM_BUCKETS};
+pub use json::JsonValue;
 pub use mem_image::MemoryImage;
 pub use outcome::{RunOutcome, RunReport, WedgeCoreState, WedgeEmcContext, WedgeReport};
 pub use program::{Program, StaticUop};
 pub use req::{AccessKind, MemReq, ReqId, ReqTimeline, Requester};
 pub use rng::{seeded_rng, substream};
-pub use stats::{CoreStats, EmcStats, LatencyStat, MemStats, RingStats, Stats};
+pub use sample::MetricSample;
+pub use stats::{CoreStats, EmcStats, MemStats, PrefetchStats, RingStats, Stats};
+pub use trace::{MissJourney, TraceEvent, TraceSink, TraceTrack, DEFAULT_TRACE_CAP};
 pub use uop::{BranchCond, Reg, UopKind, NUM_ARCH_REGS};
 
 /// A simulation cycle count (core clock domain unless stated otherwise).

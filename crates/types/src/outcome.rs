@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::sample::MetricSample;
 use crate::stats::Stats;
 use crate::Cycle;
 
@@ -93,6 +94,11 @@ pub struct WedgeReport {
     pub outstanding_lines: usize,
     /// Events still queued in the scheduler.
     pub pending_events: usize,
+    /// The last time-series samples captured before the wedge (oldest
+    /// first), when the sampler was enabled: the queue-depth/occupancy
+    /// history leading up to the stall, not just the final snapshot.
+    #[serde(default)]
+    pub recent_samples: Vec<MetricSample>,
 }
 
 impl fmt::Display for WedgeReport {
@@ -137,7 +143,14 @@ impl fmt::Display for WedgeReport {
             f,
             "  outstanding lines: {}  pending events: {}",
             self.outstanding_lines, self.pending_events
-        )
+        )?;
+        if !self.recent_samples.is_empty() {
+            write!(f, "\n  queue history leading up to the wedge:")?;
+            for s in &self.recent_samples {
+                write!(f, "\n    {}", s.summary_line())?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -219,6 +232,17 @@ mod tests {
             }],
             outstanding_lines: 17,
             pending_events: 4,
+            recent_samples: vec![MetricSample {
+                cycle: 120_000,
+                mc_queue_depth: vec![64],
+                mc_retry_depth: vec![3],
+                banks_open: vec![2],
+                emc_busy_contexts: vec![1],
+                ring_busy_links: 0,
+                outstanding_misses: 17,
+                llc_occupancy: vec![512],
+                rob_occupancy: vec![256],
+            }],
         }
     }
 
@@ -230,6 +254,16 @@ mod tests {
         assert!(s.contains("mc queues: [64] retry: [3]"));
         assert!(s.contains("emc 0 ctx 1"));
         assert!(s.contains("outstanding lines: 17"));
+    }
+
+    #[test]
+    fn wedge_report_display_includes_sample_history() {
+        let s = sample_wedge().to_string();
+        assert!(s.contains("queue history leading up to the wedge"));
+        assert!(s.contains("cycle 120000: mcq=[64]"));
+        let mut bare = sample_wedge();
+        bare.recent_samples.clear();
+        assert!(!bare.to_string().contains("queue history"));
     }
 
     #[test]

@@ -1,39 +1,8 @@
 //! Statistics counters collected by the simulator and consumed by the
 //! figure harnesses and the energy model.
 
+use crate::hist::Histogram;
 use serde::{Deserialize, Serialize};
-
-/// An accumulating latency statistic (count + sum, mean on demand).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencyStat {
-    /// Number of samples.
-    pub count: u64,
-    /// Sum of sample latencies in cycles.
-    pub sum: u64,
-}
-
-impl LatencyStat {
-    /// Record one sample.
-    pub fn record(&mut self, cycles: u64) {
-        self.count += 1;
-        self.sum += cycles;
-    }
-
-    /// Mean latency, or 0.0 with no samples.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Merge another statistic into this one.
-    pub fn merge(&mut self, other: &LatencyStat) {
-        self.count += other.count;
-        self.sum += other.sum;
-    }
-}
 
 /// Per-core pipeline statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -100,6 +69,11 @@ pub struct CoreStats {
     pub runahead_requests: u64,
     /// Histogram of shipped chain lengths (index = uops, 0..=16).
     pub chain_length_hist: Vec<u64>,
+    /// Distribution of full-window stall *episode* lengths in cycles
+    /// (one sample per contiguous stall; `full_window_stall_cycles` is
+    /// the sum of all episodes).
+    #[serde(default)]
+    pub stall_episodes: Histogram,
 }
 
 impl CoreStats {
@@ -160,25 +134,25 @@ pub struct MemStats {
     /// DRAM precharge commands issued.
     pub precharges: u64,
     /// Latency of core-issued demand misses, creation → delivery (Fig 18).
-    pub core_miss_latency: LatencyStat,
+    pub core_miss_latency: Histogram,
     /// Latency of EMC-issued demand misses, creation → delivery (Fig 18).
-    pub emc_miss_latency: LatencyStat,
+    pub emc_miss_latency: Histogram,
     /// Ring/fill-path component of core-issued miss latency (Fig 19).
-    pub core_ring_component: LatencyStat,
+    pub core_ring_component: Histogram,
     /// Cache-hierarchy component of core-issued miss latency (Fig 19).
-    pub core_cache_component: LatencyStat,
+    pub core_cache_component: Histogram,
     /// MC queueing component of core-issued miss latency (Fig 19).
-    pub core_queue_component: LatencyStat,
+    pub core_queue_component: Histogram,
     /// Ring/fill-path component of EMC-issued miss latency.
-    pub emc_ring_component: LatencyStat,
+    pub emc_ring_component: Histogram,
     /// Cache-hierarchy component of EMC-issued miss latency.
-    pub emc_cache_component: LatencyStat,
+    pub emc_cache_component: Histogram,
     /// MC queueing component of EMC-issued miss latency.
-    pub emc_queue_component: LatencyStat,
+    pub emc_queue_component: Histogram,
     /// Pure DRAM service latency across demand misses (Figure 1).
-    pub dram_service_latency: LatencyStat,
+    pub dram_service_latency: Histogram,
     /// On-chip delay across demand misses (Figure 1).
-    pub on_chip_delay: LatencyStat,
+    pub on_chip_delay: Histogram,
     /// DRAM accesses re-issued with a latency penalty by injected
     /// ECC-style faults.
     pub ecc_reissues: u64,
@@ -253,6 +227,10 @@ pub struct EmcStats {
     /// EMC-generated misses that were LLC hits due to a prefetcher
     /// (Figure 21 numerator, measured against the no-prefetch EMC set).
     pub requests_covered_by_prefetch: u64,
+    /// Distribution of chain ship-to-completion latency in cycles
+    /// (data-ring departure at the core to context release at the EMC).
+    #[serde(default)]
+    pub chain_latency: Histogram,
 }
 
 impl EmcStats {
@@ -368,17 +346,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn latency_stat_mean_and_merge() {
-        let mut a = LatencyStat::default();
-        assert_eq!(a.mean(), 0.0);
-        a.record(10);
-        a.record(20);
-        assert_eq!(a.mean(), 15.0);
-        let mut b = LatencyStat::default();
-        b.record(30);
-        a.merge(&b);
-        assert_eq!(a.count, 3);
-        assert_eq!(a.mean(), 20.0);
+    fn latency_sites_are_histograms_with_percentiles() {
+        let mut m = MemStats::default();
+        m.core_miss_latency.record(100);
+        m.core_miss_latency.record(300);
+        m.core_miss_latency.record(900);
+        assert_eq!(m.core_miss_latency.count, 3);
+        assert!((m.core_miss_latency.mean() - 433.333).abs() < 0.001);
+        assert_eq!(m.core_miss_latency.percentile(0.0), 100);
+        assert_eq!(m.core_miss_latency.percentile(100.0), 900);
+        let mut e = EmcStats::default();
+        e.chain_latency.record(50);
+        assert_eq!(e.chain_latency.p99(), 50);
+        let mut c = CoreStats::default();
+        c.stall_episodes.record(1000);
+        assert_eq!(c.stall_episodes.max, 1000);
     }
 
     #[test]
