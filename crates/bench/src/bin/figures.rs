@@ -5,12 +5,18 @@
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24
 //! overhead ablation check all. Set `EMC_FIGURE_BUDGET` to change the
 //! per-core retired-uop budget (default 30000).
+//!
+//! Every grid goes through the campaign engine: results are cached by
+//! content under `results/cache/`, shared across figures (fig1, fig6 and
+//! tab2 reuse the same baseline runs; `check` reuses the quad grid), and
+//! an interrupted `all` resumes from its manifests instead of starting
+//! over. Re-running a figure with a warm cache is pure lookups.
 
 use emc_bench::{
-    bar, config_grid, figure_budget, find, homog_grid, norm_weighted_speedup, par_map, quad_grid,
-    run_one_homog, run_one_mix, run_one_mix8, write_json, RunResult,
+    bar, config_grid, config_json, figure_budget, find, homog_grid, mix8_jobs,
+    norm_weighted_speedup, quad_grid, run_jobs, write_json, JobSpec, RunResult,
 };
-use emc_types::{PrefetcherKind, SystemConfig};
+use emc_types::{PrefetcherKind, SystemConfig, ToJson};
 use emc_workloads::{Benchmark, QUAD_MIXES};
 
 fn main() {
@@ -51,7 +57,7 @@ fn main() {
             fig6(budget);
             eprintln!("# running quad-core grid (80 simulations)...");
             let quad = quad_grid(budget);
-            write_json("quad_grid", &quad);
+            emit("quad_grid", &quad);
             fig12(&quad);
             fig15(&quad);
             fig16(&quad);
@@ -64,7 +70,7 @@ fn main() {
             overhead(&quad);
             eprintln!("# running homogeneous grid (64 simulations)...");
             let homog = homog_grid(budget);
-            write_json("homog_grid", &homog);
+            emit("homog_grid", &homog);
             fig13(&homog);
             fig24(&homog);
             fig14(budget);
@@ -79,18 +85,38 @@ fn main() {
     }
 }
 
+/// Write a sidecar, failing the run loudly (with the path) if the write
+/// fails — a figure whose JSON silently vanished is worse than no
+/// figure.
+fn emit<T: ToJson>(name: &str, value: &T) {
+    if let Err(e) = write_json(name, value) {
+        eprintln!("# sidecar failure: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn with_quad(budget: u64, f: impl FnOnce(&[RunResult])) {
     eprintln!("# running quad-core grid (80 simulations)...");
     let grid = quad_grid(budget);
-    write_json("quad_grid", &grid);
+    emit("quad_grid", &grid);
     f(&grid);
 }
 
 fn with_homog(budget: u64, f: impl FnOnce(&[RunResult])) {
     eprintln!("# running homogeneous grid (64 simulations)...");
     let grid = homog_grid(budget);
-    write_json("homog_grid", &grid);
+    emit("homog_grid", &grid);
     f(&grid);
+}
+
+/// The homogeneous no-EMC baseline specs over `benches` — the jobs
+/// fig1, fig2, fig6 and tab2 all share (and therefore cache-hit on).
+fn baseline_specs(benches: &[Benchmark], budget: u64) -> Vec<JobSpec> {
+    let cfg = SystemConfig::quad_core().without_emc();
+    benches
+        .iter()
+        .map(|&b| JobSpec::homog(b, cfg.clone(), budget))
+        .collect()
 }
 
 fn header(title: &str) {
@@ -104,19 +130,16 @@ fn header(title: &str) {
 
 fn tab1() {
     header("Table 1: system configuration");
-    let c = SystemConfig::quad_core();
     println!(
         "{}",
-        serde_json::to_string_pretty(&c).expect("serializable config")
+        config_json(&SystemConfig::quad_core()).to_json_pretty()
     );
 }
 
 fn tab2(budget: u64) {
     header("Table 2: SPEC CPU2006 classification by memory intensity (measured MPKI)");
     let jobs: Vec<Benchmark> = Benchmark::all();
-    let runs = par_map(jobs.clone(), |b| {
-        run_one_homog(b, SystemConfig::quad_core().without_emc(), budget)
-    });
+    let runs = run_jobs("tab2-mpki", baseline_specs(&jobs, budget));
     let mut rows: Vec<(String, f64, bool)> = jobs
         .iter()
         .zip(&runs)
@@ -152,7 +175,7 @@ fn tab2(budget: u64) {
         );
     }
     println!("classification agreement: {agree}/{}", rows.len());
-    write_json("tab2", &rows);
+    emit("tab2", &rows);
 }
 
 fn tab3() {
@@ -172,11 +195,7 @@ fn tab3() {
 /// limit study of Figure 2.
 fn fig1_2(budget: u64, ideal: bool) {
     let jobs: Vec<Benchmark> = Benchmark::all();
-    let base_cfg = SystemConfig::quad_core().without_emc();
-    let runs = par_map(jobs.clone(), {
-        let base_cfg = base_cfg.clone();
-        move |b| run_one_homog(b, base_cfg.clone(), budget)
-    });
+    let runs = run_jobs("motivation-base", baseline_specs(&jobs, budget));
     // Sort ascending by memory intensity as the paper does.
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -211,16 +230,19 @@ fn fig1_2(budget: u64, ideal: bool) {
             );
             out.push((jobs[i].name(), dram, chip));
         }
-        write_json("fig1", &out);
+        emit("fig1", &out);
         return;
     }
 
     header("Figure 2: dependent LLC misses and the ideal-hit limit study");
-    let ideal_runs = par_map(jobs.clone(), {
-        let mut cfg = base_cfg.clone();
-        cfg.ideal_dependent_hits = true;
-        move |b| run_one_homog(b, cfg.clone(), budget)
-    });
+    let mut ideal_cfg = SystemConfig::quad_core().without_emc();
+    ideal_cfg.ideal_dependent_hits = true;
+    let ideal_runs = run_jobs(
+        "motivation-ideal",
+        jobs.iter()
+            .map(|&b| JobSpec::homog(b, ideal_cfg.clone(), budget))
+            .collect(),
+    );
     println!(
         "{:<12} {:>12} {:>16}",
         "benchmark", "dependent%", "ideal speedup%"
@@ -238,7 +260,7 @@ fn fig1_2(budget: u64, ideal: bool) {
         println!("{:<12} {:>11.1}% {:>15.1}%", jobs[i].name(), dep, speedup);
         out.push((jobs[i].name(), dep, speedup));
     }
-    write_json("fig2", &out);
+    emit("fig2", &out);
 }
 
 fn fig3(budget: u64) {
@@ -252,19 +274,17 @@ fn fig3(budget: u64) {
         PrefetcherKind::Stream,
         PrefetcherKind::MarkovStream,
     ];
-    let mut jobs = Vec::new();
+    let mut specs = Vec::new();
     for b in Benchmark::HIGH_INTENSITY {
         for pf in pfs {
-            jobs.push((b, pf));
+            specs.push(JobSpec::homog(
+                b,
+                SystemConfig::quad_core().without_emc().with_prefetcher(pf),
+                budget,
+            ));
         }
     }
-    let runs = par_map(jobs.clone(), move |(b, pf)| {
-        run_one_homog(
-            b,
-            SystemConfig::quad_core().without_emc().with_prefetcher(pf),
-            budget,
-        )
-    });
+    let runs = run_jobs("fig3-coverage", specs);
     let mut out = Vec::new();
     for (bi, b) in Benchmark::HIGH_INTENSITY.iter().enumerate() {
         let mut cov = [0.0f64; 3];
@@ -293,15 +313,15 @@ fn fig3(budget: u64) {
         );
         out.push((b.name(), cov));
     }
-    write_json("fig3", &out);
+    emit("fig3", &out);
 }
 
 fn fig6(budget: u64) {
     header("Figure 6: average ops between a source miss and its dependent miss");
+    // Same specs as the fig1/tab2 baseline over the high-intensity
+    // subset: all cache hits once either has run.
     let jobs: Vec<Benchmark> = Benchmark::HIGH_INTENSITY.to_vec();
-    let runs = par_map(jobs.clone(), move |b| {
-        run_one_homog(b, SystemConfig::quad_core().without_emc(), budget)
-    });
+    let runs = run_jobs("fig6-chains", baseline_specs(&jobs, budget));
     let mut out = Vec::new();
     for (b, r) in jobs.iter().zip(&runs) {
         let pairs: u64 = r.stats.cores.iter().map(|c| c.dep_chain_pairs).sum();
@@ -314,7 +334,7 @@ fn fig6(budget: u64) {
         println!("{:<12} {:>6.2}", b.name(), mean);
         out.push((b.name(), mean));
     }
-    write_json("fig6", &out);
+    emit("fig6", &out);
 }
 
 // ---------------------------------------------------------------------
@@ -369,7 +389,7 @@ fn fig12(grid: &[RunResult]) {
     let workloads: Vec<String> = QUAD_MIXES.iter().map(|(n, _)| n.to_string()).collect();
     let rows = perf_rows(grid, &workloads);
     print_perf(&rows);
-    write_json("fig12", &rows);
+    emit("fig12", &rows);
 }
 
 fn fig13(grid: &[RunResult]) {
@@ -380,7 +400,7 @@ fn fig13(grid: &[RunResult]) {
         .collect();
     let rows = perf_rows(grid, &workloads);
     print_perf(&rows);
-    write_json("fig13", &rows);
+    emit("fig13", &rows);
 }
 
 fn fig14(budget: u64) {
@@ -389,20 +409,17 @@ fn fig14(budget: u64) {
         ("1MC", SystemConfig::eight_core_1mc()),
         ("2MC", SystemConfig::eight_core_2mc()),
     ] {
-        let mut jobs = Vec::new();
-        for (name, mix) in QUAD_MIXES {
-            for c in config_grid(cfg.clone()) {
-                jobs.push((name, mix, c));
-            }
-        }
-        let grid = par_map(jobs, move |(name, mix, c)| {
-            run_one_mix8(name, mix, c, budget)
-        });
+        // Campaign names match the `campaign run mix8-*` CLI suites, so
+        // either entry point warms the other.
+        let grid = run_jobs(
+            &format!("mix8-{}", label.to_lowercase()),
+            mix8_jobs(cfg, budget),
+        );
         println!("--- {label} ---");
         let workloads: Vec<String> = QUAD_MIXES.iter().map(|(n, _)| n.to_string()).collect();
         let rows = perf_rows(&grid, &workloads);
         print_perf(&rows);
-        write_json(&format!("fig14_{label}"), &rows);
+        emit(&format!("fig14_{label}"), &rows);
     }
 }
 
@@ -430,7 +447,7 @@ fn fig15(grid: &[RunResult]) {
         );
         out.push((r.workload.clone(), f));
     }
-    write_json("fig15", &out);
+    emit("fig15", &out);
 }
 
 fn fig16(grid: &[RunResult]) {
@@ -448,7 +465,7 @@ fn fig16(grid: &[RunResult]) {
         );
         out.push((name, delta));
     }
-    write_json("fig16", &out);
+    emit("fig16", &out);
 }
 
 fn fig17(grid: &[RunResult]) {
@@ -464,7 +481,7 @@ fn fig17(grid: &[RunResult]) {
         );
         out.push((r.workload.clone(), h));
     }
-    write_json("fig17", &out);
+    emit("fig17", &out);
 }
 
 fn fig18(grid: &[RunResult]) {
@@ -511,7 +528,7 @@ fn fig18(grid: &[RunResult]) {
         esum / 10.0,
         100.0 * (1.0 - esum / csum)
     );
-    write_json("fig18", &out);
+    emit("fig18", &out);
 }
 
 fn fig19(grid: &[RunResult]) {
@@ -536,7 +553,7 @@ fn fig19(grid: &[RunResult]) {
         );
         out.push((r.workload.clone(), ring, cache, queue));
     }
-    write_json("fig19", &out);
+    emit("fig19", &out);
 }
 
 fn fig21(grid: &[RunResult]) {
@@ -567,7 +584,7 @@ fn fig21(grid: &[RunResult]) {
         );
         out.push((name, cov));
     }
-    write_json("fig21", &out);
+    emit("fig21", &out);
 }
 
 fn fig22(grid: &[RunResult]) {
@@ -596,7 +613,7 @@ fn fig22(grid: &[RunResult]) {
             );
         }
     }
-    write_json("fig22", &out);
+    emit("fig22", &out);
 }
 
 // ---------------------------------------------------------------------
@@ -618,25 +635,25 @@ fn fig20(budget: u64) {
         (4, 2),
         (4, 4),
     ];
-    let mut jobs = Vec::new();
+    let mut meta = Vec::new();
+    let mut specs = Vec::new();
     for (c, r) in geoms {
         for emc in [false, true] {
             for m in mixes {
                 let mut cfg = SystemConfig::quad_core().with_dram_geometry(c, r);
                 cfg.emc.enabled = emc;
-                jobs.push((c, r, emc, m, cfg));
+                let mix = emc_workloads::mix_by_name(m).expect("known mix");
+                meta.push((c, r, emc));
+                specs.push(JobSpec::mix(m, mix, cfg, budget));
             }
         }
     }
-    let runs = par_map(jobs.clone(), move |(_, _, _, m, cfg)| {
-        let mix = emc_workloads::mix_by_name(m).expect("known mix");
-        run_one_mix(m, mix, cfg, budget)
-    });
+    let runs = run_jobs("fig20-dram-sensitivity", specs);
     // Aggregate IPC sum per (geom, emc) averaged over mixes, normalized
     // to (1,1,false).
     let agg = |c: usize, r: usize, emc: bool| -> f64 {
         let mut s = 0.0;
-        for (j, run) in jobs.iter().zip(&runs) {
+        for (j, run) in meta.iter().zip(&runs) {
             if j.0 == c && j.1 == r && j.2 == emc {
                 s += run.stats.ipc_sum();
             }
@@ -661,7 +678,7 @@ fn fig20(budget: u64) {
         );
         out.push((format!("{c}C{r}R"), b, e));
     }
-    write_json("fig20", &out);
+    emit("fig20", &out);
 }
 
 fn energy_rows(grid: &[RunResult], workloads: &[String], json: &str) {
@@ -707,7 +724,7 @@ fn energy_rows(grid: &[RunResult], workloads: &[String], json: &str) {
         print!(" {:>+13.1}%", s / workloads.len() as f64);
     }
     println!();
-    write_json(json, &out);
+    emit(json, &out);
 }
 
 fn fig23(grid: &[RunResult]) {
@@ -738,15 +755,17 @@ fn check(budget: u64) {
         }
     };
 
-    // Representative mixes keep the check fast.
+    // Representative mixes keep the check fast; the specs are a subset
+    // of the quad grid, so a warm cache answers them without simulating.
     let mixes = ["H1", "H4", "H7"];
-    let mut grid = Vec::new();
+    let mut specs = Vec::new();
     for name in mixes {
         let mix = emc_workloads::mix_by_name(name).expect("known mix");
         for cfg in config_grid(SystemConfig::quad_core()) {
-            grid.push(run_one_mix(name, mix, cfg, budget));
+            specs.push(JobSpec::mix(name, mix, cfg, budget));
         }
     }
+    let grid = run_jobs("check", specs);
 
     // 1. EMC speeds up the no-prefetch system on average.
     let mut emc_gain = 0.0;
@@ -829,77 +848,93 @@ FAILED: {failures:?}"
 /// runahead execution.
 fn ablation(budget: u64) {
     header("Ablation A: EMC design space (omnetpp x4, speedup vs no EMC)");
-    let base = run_one_homog(
+    let mut specs = vec![JobSpec::homog(
         Benchmark::Omnetpp,
         SystemConfig::quad_core().without_emc(),
         budget,
-    );
-    let mut jobs: Vec<(String, SystemConfig)> = Vec::new();
+    )
+    .with_label("baseline")];
     for contexts in [1usize, 2, 4] {
         let mut c = SystemConfig::quad_core();
         c.emc.contexts = contexts;
-        jobs.push((format!("contexts={contexts}"), c));
+        specs.push(
+            JobSpec::homog(Benchmark::Omnetpp, c, budget)
+                .with_label(format!("contexts={contexts}")),
+        );
     }
     for kb in [2u64, 4, 8] {
         let mut c = SystemConfig::quad_core();
         c.emc.dcache_bytes = kb * 1024;
-        jobs.push((format!("dcache={kb}KB"), c));
+        specs.push(
+            JobSpec::homog(Benchmark::Omnetpp, c, budget).with_label(format!("dcache={kb}KB")),
+        );
     }
     for buf in [8usize, 16, 32] {
         let mut c = SystemConfig::quad_core();
         c.emc.uop_buffer = buf;
         c.emc.prf_entries = buf.max(16);
         c.emc.live_in_entries = buf.max(16);
-        jobs.push((format!("uop_buffer={buf}"), c));
+        specs.push(
+            JobSpec::homog(Benchmark::Omnetpp, c, budget).with_label(format!("uop_buffer={buf}")),
+        );
     }
     for cand in [1usize, 2, 4] {
         let mut c = SystemConfig::quad_core();
         c.emc.chain_candidates = cand;
-        jobs.push((format!("candidates={cand}"), c));
+        specs.push(
+            JobSpec::homog(Benchmark::Omnetpp, c, budget).with_label(format!("candidates={cand}")),
+        );
     }
-    let labels: Vec<String> = jobs.iter().map(|(l, _)| l.clone()).collect();
-    let runs = par_map(jobs, move |(l, c)| {
-        let mut r = run_one_homog(Benchmark::Omnetpp, c, budget);
-        r.workload = l;
-        r
-    });
+    let runs = run_jobs("ablation-design", specs);
+    let (base, variants) = runs.split_first().expect("baseline plus variants");
     let mut out = Vec::new();
-    for (l, r) in labels.iter().zip(&runs) {
+    for r in variants {
         let ws = norm_weighted_speedup(r, &base.ipcs);
         println!(
-            "{l:<16} {ws:>7.3}  (chains {} / rejected {})",
+            "{:<16} {ws:>7.3}  (chains {} / rejected {})",
+            r.workload,
             r.stats.cores.iter().map(|c| c.chains_sent).sum::<u64>(),
             r.stats.emc.chains_rejected_busy
         );
-        out.push((l.clone(), ws));
+        out.push((r.workload.clone(), ws));
     }
-    write_json("ablation_design", &out);
+    emit("ablation_design", &out);
 
     header("Ablation B: mechanism comparison — runahead vs EMC (speedup vs plain core)");
     println!(
         "{:<12} {:>10} {:>10} {:>10}",
         "bench", "runahead", "EMC", "both"
     );
-    let mut out = Vec::new();
-    for b in [
+    let benches = [
         Benchmark::Mcf,
         Benchmark::Omnetpp,
         Benchmark::Soplex,
         Benchmark::Milc,
         Benchmark::Libquantum,
-    ] {
-        let plain = run_one_homog(b, SystemConfig::quad_core().without_emc(), budget);
-        let mut ra_cfg = SystemConfig::quad_core().without_emc();
-        ra_cfg.core.runahead = true;
-        let mut both_cfg = SystemConfig::quad_core();
-        both_cfg.core.runahead = true;
-        let variants = par_map(
-            vec![ra_cfg, SystemConfig::quad_core(), both_cfg],
-            move |c| run_one_homog(b, c, budget),
-        );
-        let ws: Vec<f64> = variants
+    ];
+    let mut specs = Vec::new();
+    for b in benches {
+        let plain = SystemConfig::quad_core().without_emc();
+        let mut ra = plain.clone();
+        ra.core.runahead = true;
+        let mut both = SystemConfig::quad_core();
+        both.core.runahead = true;
+        for (tag, cfg) in [
+            ("plain", plain),
+            ("runahead", ra),
+            ("emc", SystemConfig::quad_core()),
+            ("both", both),
+        ] {
+            specs.push(JobSpec::homog(b, cfg, budget).with_label(format!("{}-{tag}", b.name())));
+        }
+    }
+    let runs = run_jobs("ablation-mechanisms", specs);
+    let mut out = Vec::new();
+    for (i, b) in benches.iter().enumerate() {
+        let group = &runs[i * 4..(i + 1) * 4];
+        let ws: Vec<f64> = group[1..]
             .iter()
-            .map(|r| norm_weighted_speedup(r, &plain.ipcs))
+            .map(|r| norm_weighted_speedup(r, &group[0].ipcs))
             .collect();
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>10.3}",
@@ -911,7 +946,7 @@ fn ablation(budget: u64) {
         out.push((b.name(), ws));
     }
     println!("(runahead targets independent misses; the EMC targets dependent ones — §1/§2)");
-    write_json("ablation_mechanisms", &out);
+    emit("ablation_mechanisms", &out);
 }
 
 fn overhead(grid: &[RunResult]) {

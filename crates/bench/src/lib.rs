@@ -4,87 +4,79 @@
 //!
 //! The `figures` binary (`cargo run -p emc-bench --release --bin figures
 //! -- <id>`) prints each figure's rows; `all` regenerates everything.
-//! Criterion benches under `benches/` run scaled-down versions of the
-//! same harnesses so `cargo bench` exercises every code path quickly.
+//! Since the campaign engine landed, every grid run goes through
+//! `emc-campaign`: jobs are content-addressed, results are cached under
+//! `results/cache/`, and an interrupted `figures all` resumes instead of
+//! starting over. Criterion benches under `benches/` run scaled-down
+//! versions of the same harnesses so `cargo bench` exercises every code
+//! path quickly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use emc_energy::{estimate_default, EnergyBreakdown};
-use emc_sim::{cycle_cap, eight_core_mix, run_homogeneous, run_mix};
-use emc_types::{PrefetcherKind, Stats, SystemConfig};
-use emc_workloads::{Benchmark, QUAD_MIXES};
-use serde::Serialize;
+use std::path::PathBuf;
+
+use emc_campaign::{Campaign, CampaignOptions};
+use emc_sim::cycle_cap;
+use emc_types::{JsonValue, PrefetcherKind, SystemConfig, ToJson};
+use emc_workloads::Benchmark;
+
+pub use emc_campaign::{
+    config_grid, config_json, homog_jobs, mix8_jobs, parallel_map, quad_jobs, JobSpec, RunResult,
+};
+
+/// Default per-core retired-uop budget for figure runs.
+pub const DEFAULT_FIGURE_BUDGET: u64 = 30_000;
+
+/// Schema tag stamped into every figure sidecar.
+pub const FIGURES_SCHEMA: &str = "emc-figures-v1";
+
+/// Resolve a figure budget from an explicit source string (the
+/// injectable core of [`figure_budget`] — tests pass values directly
+/// instead of mutating process-global environment).
+pub fn budget_from(source: Option<&str>) -> u64 {
+    source
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_FIGURE_BUDGET)
+}
 
 /// Per-core retired-uop budget for figure runs. Override with the
-/// `EMC_FIGURE_BUDGET` environment variable.
+/// `EMC_FIGURE_BUDGET` environment variable. Campaign job keys embed the
+/// value this *resolves to*, never the variable itself, so cached
+/// results are immune to later environment changes.
 pub fn figure_budget() -> u64 {
-    std::env::var("EMC_FIGURE_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30_000)
+    budget_from(std::env::var("EMC_FIGURE_BUDGET").ok().as_deref())
 }
 
-/// One simulated configuration of one workload.
-#[derive(Debug, Clone, Serialize)]
-pub struct RunResult {
-    /// Workload label ("H4", "mcf x4", ...).
-    pub workload: String,
-    /// Prefetcher configuration.
-    pub prefetcher: String,
-    /// Whether the EMC was enabled.
-    pub emc: bool,
-    /// Full statistics.
-    pub stats: Stats,
-    /// Energy estimate.
-    pub energy: EnergyBreakdown,
-    /// Per-core IPCs (for weighted speedup against a baseline run).
-    pub ipcs: Vec<f64>,
+/// Campaign options for figure harnesses: default cache under
+/// `results/cache`, resume on, progress on stderr.
+pub fn figure_campaign_options() -> CampaignOptions {
+    CampaignOptions::default()
 }
 
-fn result_of(workload: String, cfg: &SystemConfig, stats: Stats) -> RunResult {
-    let energy = estimate_default(&stats, cfg);
-    let ipcs = stats.cores.iter().map(|c| c.ipc()).collect();
-    RunResult {
-        workload,
-        prefetcher: cfg.prefetcher.label().to_string(),
-        emc: cfg.emc.enabled,
-        stats,
-        energy,
-        ipcs,
-    }
+/// Run a named set of jobs through the campaign engine (cache +
+/// manifest + all cores) and unwrap every result, in job order.
+pub fn run_jobs(name: &str, jobs: Vec<JobSpec>) -> Vec<RunResult> {
+    Campaign::new(name, jobs)
+        .run(&figure_campaign_options())
+        .expect_completed()
 }
 
-/// Run one heterogeneous mix under `cfg`.
+/// Run one heterogeneous mix under `cfg`, uncached (single-shot paths
+/// and criterion benches; grids go through [`run_jobs`]).
 pub fn run_one_mix(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> RunResult {
-    let stats = run_mix(cfg.clone(), &mix, budget).expect_completed();
-    result_of(name.to_string(), &cfg, stats)
+    JobSpec::mix(name, mix, cfg, budget).run_now()
 }
 
-/// Run one homogeneous workload (`cfg.cores` copies of `bench`).
+/// Run one homogeneous workload (`cfg.cores` copies of `bench`),
+/// uncached.
 pub fn run_one_homog(bench: Benchmark, cfg: SystemConfig, budget: u64) -> RunResult {
-    let stats = run_homogeneous(cfg.clone(), bench, budget).expect_completed();
-    result_of(format!("{}x{}", bench.name(), cfg.cores), &cfg, stats)
+    JobSpec::homog(bench, cfg, budget).run_now()
 }
 
-/// Run one eight-core mix (two copies of a quad mix, §5).
+/// Run one eight-core mix (two copies of a quad mix, §5), uncached.
 pub fn run_one_mix8(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> RunResult {
-    let benches = eight_core_mix(mix);
-    let stats = run_mix(cfg.clone(), &benches, budget).expect_completed();
-    result_of(name.to_string(), &cfg, stats)
-}
-
-/// The eight (prefetcher × EMC) configurations of Figures 12–14.
-pub fn config_grid(base: SystemConfig) -> Vec<SystemConfig> {
-    let mut v = Vec::new();
-    for pf in PrefetcherKind::ALL {
-        for emc in [false, true] {
-            let mut c = base.clone().with_prefetcher(pf);
-            c.emc.enabled = emc;
-            v.push(c);
-        }
-    }
-    v
+    JobSpec::mix8(name, mix, cfg, budget).run_now()
 }
 
 /// Weighted speedup of `run` against per-core baseline IPCs, normalized
@@ -93,58 +85,27 @@ pub fn norm_weighted_speedup(run: &RunResult, baseline_ipcs: &[f64]) -> f64 {
     run.stats.weighted_speedup(baseline_ipcs) / baseline_ipcs.len() as f64
 }
 
-/// Simple two-worker parallel map (the grids are embarrassingly
-/// parallel; each run is internally deterministic).
-pub fn par_map<T, F>(jobs: Vec<T>, f: F) -> Vec<RunResult>
+/// Order-preserving parallel map across all cores (kept for harness
+/// code that runs ad-hoc job lists; campaign grids use [`run_jobs`]).
+pub fn par_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
 where
-    T: Send,
-    F: Fn(T) -> RunResult + Sync,
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
 {
-    let n = jobs.len();
-    let mut out: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
-    let jobs: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(jobs);
-    let results = std::sync::Mutex::new(&mut out);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(2)
-        .min(4);
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let job = queue.lock().expect("queue lock").pop();
-                let Some((i, job)) = job else { break };
-                let r = f(job);
-                results.lock().expect("results lock")[i] = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_iter().map(|r| r.expect("all jobs ran")).collect()
+    parallel_map(jobs, 0, |_, job| f(job))
 }
 
 /// All quad-core heterogeneous grid runs (H1–H10 × 8 configs), the input
-/// to Figures 12, 15, 16, 17, 18, 19, 21, 22 and 23.
+/// to Figures 12, 15, 16, 17, 18, 19, 21, 22 and 23. Campaign-cached.
 pub fn quad_grid(budget: u64) -> Vec<RunResult> {
-    let mut jobs = Vec::new();
-    for (name, mix) in QUAD_MIXES {
-        for cfg in config_grid(SystemConfig::quad_core()) {
-            jobs.push((name, mix, cfg));
-        }
-    }
-    par_map(jobs, |(name, mix, cfg)| run_one_mix(name, mix, cfg, budget))
+    run_jobs("quad-grid", quad_jobs(budget))
 }
 
 /// All homogeneous grid runs (8 high-intensity benchmarks × 8 configs),
-/// the input to Figures 13 and 24.
+/// the input to Figures 13 and 24. Campaign-cached.
 pub fn homog_grid(budget: u64) -> Vec<RunResult> {
-    let mut jobs = Vec::new();
-    for b in Benchmark::HIGH_INTENSITY {
-        for cfg in config_grid(SystemConfig::quad_core()) {
-            jobs.push((b, cfg));
-        }
-    }
-    par_map(jobs, |(b, cfg)| run_one_homog(b, cfg, budget))
+    run_jobs("homog-grid", homog_jobs(budget))
 }
 
 /// Find the run for (workload, prefetcher label, emc) in a grid.
@@ -159,15 +120,23 @@ pub fn find<'a>(
         .unwrap_or_else(|| panic!("missing run {workload}/{}/{emc}", pf.label()))
 }
 
-/// Write a JSON sidecar next to the textual figure output.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+/// Write a JSON sidecar next to the textual figure output: creates
+/// `results/` explicitly, stamps the `emc-figures-v1` schema, and
+/// returns the path written — or an error naming the path that failed.
+/// (The pre-campaign version swallowed every I/O error silently.)
+pub fn write_json<T: ToJson>(name: &str, value: &T) -> Result<PathBuf, String> {
     let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.json"));
-        if let Ok(s) = serde_json::to_string_pretty(value) {
-            let _ = std::fs::write(path, s);
-        }
-    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{name}.json"));
+    let doc = JsonValue::obj(vec![
+        ("schema", FIGURES_SCHEMA.into()),
+        ("name", name.into()),
+        ("data", value.to_json_value()),
+    ]);
+    let mut text = doc.to_json_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 /// Fixed-width bar for terminal "figures".
@@ -185,6 +154,7 @@ pub fn cap(budget: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emc_types::Stats;
 
     #[test]
     fn config_grid_has_eight_entries() {
@@ -198,7 +168,7 @@ mod tests {
     #[test]
     fn par_map_preserves_order() {
         let jobs: Vec<u64> = (0..6).collect();
-        let out = par_map(jobs, |i| RunResult {
+        let out = par_map(jobs, |&i| RunResult {
             workload: format!("w{i}"),
             prefetcher: "No-PF".into(),
             emc: false,
@@ -221,9 +191,33 @@ mod tests {
     }
 
     #[test]
-    fn budget_env_override() {
-        // Default without the env var.
-        std::env::remove_var("EMC_FIGURE_BUDGET");
-        assert_eq!(figure_budget(), 30_000);
+    fn budget_resolution_is_injectable() {
+        // No process-global env mutation: budget_from takes its source
+        // directly, so this can't race parallel tests.
+        assert_eq!(budget_from(None), DEFAULT_FIGURE_BUDGET);
+        assert_eq!(budget_from(Some("123")), 123);
+        assert_eq!(budget_from(Some(" 456 ")), 456, "whitespace tolerated");
+        assert_eq!(budget_from(Some("junk")), DEFAULT_FIGURE_BUDGET);
+        assert_eq!(budget_from(Some("")), DEFAULT_FIGURE_BUDGET);
+    }
+
+    #[test]
+    fn write_json_stamps_schema_and_reports_path() {
+        let rows = vec![("w0", 1.5f64), ("w1", 2.5)];
+        let path = write_json("bench_selftest", &rows).expect("writable results dir");
+        let text = std::fs::read_to_string(&path).expect("file exists at reported path");
+        let doc = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(FIGURES_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("data")
+                .and_then(|d| d.idx(0))
+                .and_then(|r| r.idx(0))
+                .and_then(|v| v.as_str()),
+            Some("w0")
+        );
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -1,0 +1,278 @@
+//! Command-line front end for the campaign engine.
+//!
+//! ```text
+//! campaign run <suite>... [--budget N] [--workers N] [--cache-dir DIR]
+//!                         [--no-cache] [--no-resume] [--retry-failed]
+//!                         [--max-jobs N] [--report FILE] [--quiet]
+//! campaign status <name> [--cache-dir DIR]
+//! campaign stats         [--cache-dir DIR]
+//! ```
+//!
+//! Suites: `quad` (H1–H10 × 8 configs), `homog` (high-intensity × 8),
+//! `mix8-1mc` / `mix8-2mc` (Figure 14 grids), or `all`. The budget
+//! defaults to `EMC_FIGURE_BUDGET` (else 30000) — the *resolved* value
+//! is what enters every job key, so cached results are immune to later
+//! environment changes.
+
+use emc_campaign::{
+    homog_jobs, mix8_jobs, quad_jobs, Campaign, CampaignOptions, JobStatus, Manifest, ResultCache,
+    DEFAULT_CACHE_DIR,
+};
+use emc_types::SystemConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign run <suite>... [--budget N] [--workers N] [--cache-dir DIR]\n\
+         \x20                           [--no-cache] [--no-resume] [--retry-failed]\n\
+         \x20                           [--max-jobs N] [--report FILE] [--quiet]\n\
+         \x20      campaign status <name> [--cache-dir DIR]\n\
+         \x20      campaign stats [--cache-dir DIR]\n\
+         suites: quad homog mix8-1mc mix8-2mc all"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    budget: Option<u64>,
+    workers: usize,
+    cache_dir: String,
+    no_cache: bool,
+    no_resume: bool,
+    retry_failed: bool,
+    max_jobs: Option<usize>,
+    report: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        positional: Vec::new(),
+        budget: None,
+        workers: 0,
+        cache_dir: DEFAULT_CACHE_DIR.to_string(),
+        no_cache: false,
+        no_resume: false,
+        retry_failed: false,
+        max_jobs: None,
+        report: None,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--budget" => {
+                let v = value("--budget");
+                args.budget = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--budget: not a number: {v}");
+                    usage()
+                }));
+            }
+            "--workers" => {
+                let v = value("--workers");
+                args.workers = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--workers: not a number: {v}");
+                    usage()
+                });
+            }
+            "--max-jobs" => {
+                let v = value("--max-jobs");
+                args.max_jobs = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-jobs: not a number: {v}");
+                    usage()
+                }));
+            }
+            "--cache-dir" => args.cache_dir = value("--cache-dir"),
+            "--report" => args.report = Some(value("--report")),
+            "--no-cache" => args.no_cache = true,
+            "--no-resume" => args.no_resume = true,
+            "--retry-failed" => args.retry_failed = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                usage();
+            }
+            pos => args.positional.push(pos.to_string()),
+        }
+    }
+    args
+}
+
+/// Resolve the per-core retired-uop budget: flag, then environment,
+/// then the figures default.
+fn resolve_budget(flag: Option<u64>) -> u64 {
+    flag.or_else(|| std::env::var("EMC_FIGURE_BUDGET").ok()?.trim().parse().ok())
+        .unwrap_or(30_000)
+}
+
+fn suites_of(names: &[String], budget: u64) -> Vec<(&'static str, Vec<emc_campaign::JobSpec>)> {
+    let mut suites = Vec::new();
+    let mut add = |name: &str| match name {
+        "quad" => suites.push(("quad", quad_jobs(budget))),
+        "homog" => suites.push(("homog", homog_jobs(budget))),
+        "mix8-1mc" => suites.push((
+            "mix8-1mc",
+            mix8_jobs(SystemConfig::eight_core_1mc(), budget),
+        )),
+        "mix8-2mc" => suites.push((
+            "mix8-2mc",
+            mix8_jobs(SystemConfig::eight_core_2mc(), budget),
+        )),
+        other => {
+            eprintln!("unknown suite: {other}");
+            usage();
+        }
+    };
+    for n in names {
+        if n == "all" {
+            for s in ["quad", "homog", "mix8-1mc", "mix8-2mc"] {
+                add(s);
+            }
+        } else {
+            add(n);
+        }
+    }
+    suites
+}
+
+fn cmd_run(args: Args) {
+    if args.positional.is_empty() {
+        eprintln!("run: no suites named");
+        usage();
+    }
+    let budget = resolve_budget(args.budget);
+    let cache = (!args.no_cache).then(|| ResultCache::new(&args.cache_dir));
+    let opts = CampaignOptions {
+        cache,
+        workers: args.workers,
+        resume: !args.no_resume,
+        retry_failed: args.retry_failed,
+        max_fresh_runs: args.max_jobs,
+        progress: !args.quiet,
+        ..CampaignOptions::default()
+    };
+
+    if !args.quiet {
+        eprintln!(
+            "# budget: {budget} retired uops/core · cache: {}",
+            args.cache_dir
+        );
+    }
+    let mut reports = Vec::new();
+    let mut incomplete = 0usize;
+    for (name, jobs) in suites_of(&args.positional, budget) {
+        let report = Campaign::new(name, jobs).run(&opts);
+        println!(
+            "{name}: {} jobs · {} hits ({:.0}%) · {} executed · {} deferred · {} unresolved · {:.1}s",
+            report.records.len(),
+            report.hits(),
+            report.hit_rate() * 100.0,
+            report.executed(),
+            report.deferred(),
+            report.unresolved() - report.deferred(),
+            report.wall.as_secs_f64(),
+        );
+        incomplete += report.unresolved();
+        reports.push(report);
+    }
+
+    if let Some(path) = &args.report {
+        let doc = emc_types::JsonValue::Arr(reports.iter().map(|r| r.to_json()).collect());
+        let mut text = doc.to_json();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write report {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    }
+    // Deferred jobs are an intentional interrupt (--max-jobs), still a
+    // partial campaign: exit non-zero so CI can't mistake it for done.
+    if incomplete > 0 {
+        std::process::exit(3);
+    }
+}
+
+fn cmd_status(args: Args) {
+    let Some(name) = args.positional.first() else {
+        eprintln!("status: which campaign?");
+        usage();
+    };
+    let root = std::path::Path::new(&args.cache_dir);
+    let Some(m) = Manifest::load(root, name) else {
+        println!("{name}: no manifest under {}", args.cache_dir);
+        std::process::exit(1);
+    };
+    let (mut done, mut failed, mut pending) = (0, 0, 0);
+    for e in &m.entries {
+        match e.status {
+            JobStatus::Done => done += 1,
+            JobStatus::Failed => failed += 1,
+            JobStatus::Pending => pending += 1,
+        }
+    }
+    println!(
+        "{name}: {done} done · {failed} failed · {pending} pending (of {})",
+        m.entries.len()
+    );
+    for e in m.entries.iter().filter(|e| e.status == JobStatus::Failed) {
+        println!(
+            "  FAILED {} ({} attempts): {}",
+            e.label, e.attempts, e.outcome
+        );
+    }
+    if pending > 0 {
+        println!(
+            "  resume with: campaign run {name} --cache-dir {}",
+            args.cache_dir
+        );
+    }
+}
+
+fn cmd_stats(args: Args) {
+    let cache = ResultCache::new(&args.cache_dir);
+    println!(
+        "cache {}: {} result entries · fingerprint {}",
+        args.cache_dir,
+        cache.entry_count(),
+        emc_campaign::code_fingerprint()
+    );
+    let manifests = std::path::Path::new(&args.cache_dir).join("manifests");
+    if let Ok(rd) = std::fs::read_dir(&manifests) {
+        for f in rd.flatten() {
+            let path = f.path();
+            if path.extension().is_some_and(|x| x == "json") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if let Some(m) = Manifest::load(std::path::Path::new(&args.cache_dir), stem) {
+                        println!(
+                            "  manifest {stem}: {}/{} done",
+                            m.done_count(),
+                            m.entries.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        usage();
+    };
+    let args = parse_args(&argv[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(args),
+        "status" => cmd_status(args),
+        "stats" => cmd_stats(args),
+        _ => usage(),
+    }
+}

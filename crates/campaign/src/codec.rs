@@ -1,0 +1,659 @@
+//! Lossless JSON codec for cached results.
+//!
+//! The cache's whole contract is that a hit is indistinguishable from a
+//! fresh run — down to the bytes of every figure sidecar derived from
+//! it. That requires an exact round-trip of [`RunResult`] (statistics,
+//! histograms, energy breakdown) through the on-disk format, with no
+//! external JSON crate on the runtime path (matching the metrics
+//! exporters in `emc-sim`). Floats use Rust's shortest round-trip
+//! formatting (exact by construction); `u64` counters above 2^53 are
+//! carried as strings (see [`crate::spec::u`]).
+//!
+//! Every encoder destructures its struct without `..`, so adding a
+//! statistics field without extending the codec is a compile error, not
+//! a silently lossy cache.
+
+use emc_energy::EnergyBreakdown;
+use emc_types::{
+    CoreStats, EmcStats, Histogram, JsonValue, MemStats, PrefetchStats, RingStats, Stats,
+};
+
+use crate::spec::{u, RunResult};
+
+// ---------------------------------------------------------------------
+// Decode helpers
+// ---------------------------------------------------------------------
+
+fn get<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn dec_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    match v {
+        JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+            Ok(*n as u64)
+        }
+        JsonValue::Str(s) => s
+            .parse()
+            .map_err(|_| format!("{key}: bad u64 string {s:?}")),
+        other => Err(format!("{key}: expected u64, got {other:?}")),
+    }
+}
+
+fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
+    dec_u64(get(obj, key)?, key)
+}
+
+fn get_f64(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    get(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("{key}: expected number"))
+}
+
+fn get_bool(obj: &JsonValue, key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(format!("{key}: expected bool")),
+    }
+}
+
+fn get_str<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    get(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("{key}: expected string"))
+}
+
+fn get_u64_vec(obj: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+    get(obj, key)?
+        .as_arr()
+        .ok_or_else(|| format!("{key}: expected array"))?
+        .iter()
+        .map(|v| dec_u64(v, key))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+/// Encode a [`Histogram`] (count/sum/min/max plus the sparse-or-empty
+/// bucket vector).
+pub fn histogram_to_json(h: &Histogram) -> JsonValue {
+    let Histogram {
+        count,
+        sum,
+        min,
+        max,
+        buckets,
+    } = h;
+    JsonValue::obj(vec![
+        ("count", u(*count)),
+        ("sum", u(*sum)),
+        ("min", u(*min)),
+        ("max", u(*max)),
+        (
+            "buckets",
+            JsonValue::Arr(buckets.iter().map(|&n| u(n)).collect()),
+        ),
+    ])
+}
+
+/// Decode a [`Histogram`].
+pub fn histogram_from_json(v: &JsonValue) -> Result<Histogram, String> {
+    Ok(Histogram {
+        count: get_u64(v, "count")?,
+        sum: get_u64(v, "sum")?,
+        min: get_u64(v, "min")?,
+        max: get_u64(v, "max")?,
+        buckets: get_u64_vec(v, "buckets")?,
+    })
+}
+
+fn get_hist(obj: &JsonValue, key: &str) -> Result<Histogram, String> {
+    histogram_from_json(get(obj, key)?).map_err(|e| format!("{key}.{e}"))
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+fn core_stats_to_json(c: &CoreStats) -> JsonValue {
+    let CoreStats {
+        cycles,
+        retired_uops,
+        retired_loads,
+        retired_stores,
+        retired_branches,
+        branch_mispredicts,
+        l1d_accesses,
+        l1d_misses,
+        llc_accesses,
+        llc_misses,
+        dependent_llc_misses,
+        dependent_misses_prefetched,
+        dep_chain_uop_sum,
+        dep_chain_pairs,
+        full_window_stall_cycles,
+        chains_sent,
+        chain_uops_sent,
+        chain_live_ins,
+        chain_live_outs,
+        chains_aborted_branch,
+        chains_aborted_tlb,
+        chains_cancelled_disambiguation,
+        chains_aborted_injected,
+        emc_quiesce_events,
+        prefetch_covered_misses,
+        runahead_entries,
+        runahead_uops,
+        runahead_requests,
+        chain_length_hist,
+        stall_episodes,
+    } = c;
+    JsonValue::obj(vec![
+        ("cycles", u(*cycles)),
+        ("retired_uops", u(*retired_uops)),
+        ("retired_loads", u(*retired_loads)),
+        ("retired_stores", u(*retired_stores)),
+        ("retired_branches", u(*retired_branches)),
+        ("branch_mispredicts", u(*branch_mispredicts)),
+        ("l1d_accesses", u(*l1d_accesses)),
+        ("l1d_misses", u(*l1d_misses)),
+        ("llc_accesses", u(*llc_accesses)),
+        ("llc_misses", u(*llc_misses)),
+        ("dependent_llc_misses", u(*dependent_llc_misses)),
+        (
+            "dependent_misses_prefetched",
+            u(*dependent_misses_prefetched),
+        ),
+        ("dep_chain_uop_sum", u(*dep_chain_uop_sum)),
+        ("dep_chain_pairs", u(*dep_chain_pairs)),
+        ("full_window_stall_cycles", u(*full_window_stall_cycles)),
+        ("chains_sent", u(*chains_sent)),
+        ("chain_uops_sent", u(*chain_uops_sent)),
+        ("chain_live_ins", u(*chain_live_ins)),
+        ("chain_live_outs", u(*chain_live_outs)),
+        ("chains_aborted_branch", u(*chains_aborted_branch)),
+        ("chains_aborted_tlb", u(*chains_aborted_tlb)),
+        (
+            "chains_cancelled_disambiguation",
+            u(*chains_cancelled_disambiguation),
+        ),
+        ("chains_aborted_injected", u(*chains_aborted_injected)),
+        ("emc_quiesce_events", u(*emc_quiesce_events)),
+        ("prefetch_covered_misses", u(*prefetch_covered_misses)),
+        ("runahead_entries", u(*runahead_entries)),
+        ("runahead_uops", u(*runahead_uops)),
+        ("runahead_requests", u(*runahead_requests)),
+        (
+            "chain_length_hist",
+            JsonValue::Arr(chain_length_hist.iter().map(|&n| u(n)).collect()),
+        ),
+        ("stall_episodes", histogram_to_json(stall_episodes)),
+    ])
+}
+
+fn core_stats_from_json(v: &JsonValue) -> Result<CoreStats, String> {
+    Ok(CoreStats {
+        cycles: get_u64(v, "cycles")?,
+        retired_uops: get_u64(v, "retired_uops")?,
+        retired_loads: get_u64(v, "retired_loads")?,
+        retired_stores: get_u64(v, "retired_stores")?,
+        retired_branches: get_u64(v, "retired_branches")?,
+        branch_mispredicts: get_u64(v, "branch_mispredicts")?,
+        l1d_accesses: get_u64(v, "l1d_accesses")?,
+        l1d_misses: get_u64(v, "l1d_misses")?,
+        llc_accesses: get_u64(v, "llc_accesses")?,
+        llc_misses: get_u64(v, "llc_misses")?,
+        dependent_llc_misses: get_u64(v, "dependent_llc_misses")?,
+        dependent_misses_prefetched: get_u64(v, "dependent_misses_prefetched")?,
+        dep_chain_uop_sum: get_u64(v, "dep_chain_uop_sum")?,
+        dep_chain_pairs: get_u64(v, "dep_chain_pairs")?,
+        full_window_stall_cycles: get_u64(v, "full_window_stall_cycles")?,
+        chains_sent: get_u64(v, "chains_sent")?,
+        chain_uops_sent: get_u64(v, "chain_uops_sent")?,
+        chain_live_ins: get_u64(v, "chain_live_ins")?,
+        chain_live_outs: get_u64(v, "chain_live_outs")?,
+        chains_aborted_branch: get_u64(v, "chains_aborted_branch")?,
+        chains_aborted_tlb: get_u64(v, "chains_aborted_tlb")?,
+        chains_cancelled_disambiguation: get_u64(v, "chains_cancelled_disambiguation")?,
+        chains_aborted_injected: get_u64(v, "chains_aborted_injected")?,
+        emc_quiesce_events: get_u64(v, "emc_quiesce_events")?,
+        prefetch_covered_misses: get_u64(v, "prefetch_covered_misses")?,
+        runahead_entries: get_u64(v, "runahead_entries")?,
+        runahead_uops: get_u64(v, "runahead_uops")?,
+        runahead_requests: get_u64(v, "runahead_requests")?,
+        chain_length_hist: get_u64_vec(v, "chain_length_hist")?,
+        stall_episodes: get_hist(v, "stall_episodes")?,
+    })
+}
+
+fn mem_stats_to_json(m: &MemStats) -> JsonValue {
+    let MemStats {
+        dram_reads,
+        dram_writes,
+        dram_prefetches,
+        row_hits,
+        row_conflicts,
+        row_empties,
+        activates,
+        precharges,
+        core_miss_latency,
+        emc_miss_latency,
+        core_ring_component,
+        core_cache_component,
+        core_queue_component,
+        emc_ring_component,
+        emc_cache_component,
+        emc_queue_component,
+        dram_service_latency,
+        on_chip_delay,
+        ecc_reissues,
+        backpressure_storms,
+    } = m;
+    JsonValue::obj(vec![
+        ("dram_reads", u(*dram_reads)),
+        ("dram_writes", u(*dram_writes)),
+        ("dram_prefetches", u(*dram_prefetches)),
+        ("row_hits", u(*row_hits)),
+        ("row_conflicts", u(*row_conflicts)),
+        ("row_empties", u(*row_empties)),
+        ("activates", u(*activates)),
+        ("precharges", u(*precharges)),
+        ("core_miss_latency", histogram_to_json(core_miss_latency)),
+        ("emc_miss_latency", histogram_to_json(emc_miss_latency)),
+        (
+            "core_ring_component",
+            histogram_to_json(core_ring_component),
+        ),
+        (
+            "core_cache_component",
+            histogram_to_json(core_cache_component),
+        ),
+        (
+            "core_queue_component",
+            histogram_to_json(core_queue_component),
+        ),
+        ("emc_ring_component", histogram_to_json(emc_ring_component)),
+        (
+            "emc_cache_component",
+            histogram_to_json(emc_cache_component),
+        ),
+        (
+            "emc_queue_component",
+            histogram_to_json(emc_queue_component),
+        ),
+        (
+            "dram_service_latency",
+            histogram_to_json(dram_service_latency),
+        ),
+        ("on_chip_delay", histogram_to_json(on_chip_delay)),
+        ("ecc_reissues", u(*ecc_reissues)),
+        ("backpressure_storms", u(*backpressure_storms)),
+    ])
+}
+
+fn mem_stats_from_json(v: &JsonValue) -> Result<MemStats, String> {
+    Ok(MemStats {
+        dram_reads: get_u64(v, "dram_reads")?,
+        dram_writes: get_u64(v, "dram_writes")?,
+        dram_prefetches: get_u64(v, "dram_prefetches")?,
+        row_hits: get_u64(v, "row_hits")?,
+        row_conflicts: get_u64(v, "row_conflicts")?,
+        row_empties: get_u64(v, "row_empties")?,
+        activates: get_u64(v, "activates")?,
+        precharges: get_u64(v, "precharges")?,
+        core_miss_latency: get_hist(v, "core_miss_latency")?,
+        emc_miss_latency: get_hist(v, "emc_miss_latency")?,
+        core_ring_component: get_hist(v, "core_ring_component")?,
+        core_cache_component: get_hist(v, "core_cache_component")?,
+        core_queue_component: get_hist(v, "core_queue_component")?,
+        emc_ring_component: get_hist(v, "emc_ring_component")?,
+        emc_cache_component: get_hist(v, "emc_cache_component")?,
+        emc_queue_component: get_hist(v, "emc_queue_component")?,
+        dram_service_latency: get_hist(v, "dram_service_latency")?,
+        on_chip_delay: get_hist(v, "on_chip_delay")?,
+        ecc_reissues: get_u64(v, "ecc_reissues")?,
+        backpressure_storms: get_u64(v, "backpressure_storms")?,
+    })
+}
+
+fn ring_stats_to_json(r: &RingStats) -> JsonValue {
+    let RingStats {
+        control_msgs,
+        data_msgs,
+        emc_control_msgs,
+        emc_data_msgs,
+        total_hops,
+        injected_delays,
+    } = r;
+    JsonValue::obj(vec![
+        ("control_msgs", u(*control_msgs)),
+        ("data_msgs", u(*data_msgs)),
+        ("emc_control_msgs", u(*emc_control_msgs)),
+        ("emc_data_msgs", u(*emc_data_msgs)),
+        ("total_hops", u(*total_hops)),
+        ("injected_delays", u(*injected_delays)),
+    ])
+}
+
+fn ring_stats_from_json(v: &JsonValue) -> Result<RingStats, String> {
+    Ok(RingStats {
+        control_msgs: get_u64(v, "control_msgs")?,
+        data_msgs: get_u64(v, "data_msgs")?,
+        emc_control_msgs: get_u64(v, "emc_control_msgs")?,
+        emc_data_msgs: get_u64(v, "emc_data_msgs")?,
+        total_hops: get_u64(v, "total_hops")?,
+        injected_delays: get_u64(v, "injected_delays")?,
+    })
+}
+
+fn emc_stats_to_json(e: &EmcStats) -> JsonValue {
+    let EmcStats {
+        chains_executed,
+        uops_executed,
+        loads_executed,
+        stores_executed,
+        dcache_accesses,
+        dcache_hits,
+        direct_to_dram,
+        llc_lookups,
+        llc_misses_generated,
+        tlb_hits,
+        tlb_misses,
+        chains_rejected_busy,
+        branch_mispredicts_detected,
+        requests_covered_by_prefetch,
+        chain_latency,
+    } = e;
+    JsonValue::obj(vec![
+        ("chains_executed", u(*chains_executed)),
+        ("uops_executed", u(*uops_executed)),
+        ("loads_executed", u(*loads_executed)),
+        ("stores_executed", u(*stores_executed)),
+        ("dcache_accesses", u(*dcache_accesses)),
+        ("dcache_hits", u(*dcache_hits)),
+        ("direct_to_dram", u(*direct_to_dram)),
+        ("llc_lookups", u(*llc_lookups)),
+        ("llc_misses_generated", u(*llc_misses_generated)),
+        ("tlb_hits", u(*tlb_hits)),
+        ("tlb_misses", u(*tlb_misses)),
+        ("chains_rejected_busy", u(*chains_rejected_busy)),
+        (
+            "branch_mispredicts_detected",
+            u(*branch_mispredicts_detected),
+        ),
+        (
+            "requests_covered_by_prefetch",
+            u(*requests_covered_by_prefetch),
+        ),
+        ("chain_latency", histogram_to_json(chain_latency)),
+    ])
+}
+
+fn emc_stats_from_json(v: &JsonValue) -> Result<EmcStats, String> {
+    Ok(EmcStats {
+        chains_executed: get_u64(v, "chains_executed")?,
+        uops_executed: get_u64(v, "uops_executed")?,
+        loads_executed: get_u64(v, "loads_executed")?,
+        stores_executed: get_u64(v, "stores_executed")?,
+        dcache_accesses: get_u64(v, "dcache_accesses")?,
+        dcache_hits: get_u64(v, "dcache_hits")?,
+        direct_to_dram: get_u64(v, "direct_to_dram")?,
+        llc_lookups: get_u64(v, "llc_lookups")?,
+        llc_misses_generated: get_u64(v, "llc_misses_generated")?,
+        tlb_hits: get_u64(v, "tlb_hits")?,
+        tlb_misses: get_u64(v, "tlb_misses")?,
+        chains_rejected_busy: get_u64(v, "chains_rejected_busy")?,
+        branch_mispredicts_detected: get_u64(v, "branch_mispredicts_detected")?,
+        requests_covered_by_prefetch: get_u64(v, "requests_covered_by_prefetch")?,
+        chain_latency: get_hist(v, "chain_latency")?,
+    })
+}
+
+fn prefetch_stats_to_json(p: &PrefetchStats) -> JsonValue {
+    let PrefetchStats {
+        issued,
+        useful,
+        useless,
+        degree,
+    } = p;
+    JsonValue::obj(vec![
+        ("issued", u(*issued)),
+        ("useful", u(*useful)),
+        ("useless", u(*useless)),
+        ("degree", u(*degree)),
+    ])
+}
+
+fn prefetch_stats_from_json(v: &JsonValue) -> Result<PrefetchStats, String> {
+    Ok(PrefetchStats {
+        issued: get_u64(v, "issued")?,
+        useful: get_u64(v, "useful")?,
+        useless: get_u64(v, "useless")?,
+        degree: get_u64(v, "degree")?,
+    })
+}
+
+/// Encode full run statistics.
+pub fn stats_to_json(s: &Stats) -> JsonValue {
+    let Stats {
+        cycles,
+        cores,
+        mem,
+        ring,
+        emc,
+        prefetch,
+    } = s;
+    JsonValue::obj(vec![
+        ("cycles", u(*cycles)),
+        (
+            "cores",
+            JsonValue::Arr(cores.iter().map(core_stats_to_json).collect()),
+        ),
+        ("mem", mem_stats_to_json(mem)),
+        ("ring", ring_stats_to_json(ring)),
+        ("emc", emc_stats_to_json(emc)),
+        ("prefetch", prefetch_stats_to_json(prefetch)),
+    ])
+}
+
+/// Decode full run statistics.
+pub fn stats_from_json(v: &JsonValue) -> Result<Stats, String> {
+    let cores = get(v, "cores")?
+        .as_arr()
+        .ok_or("cores: expected array")?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| core_stats_from_json(c).map_err(|e| format!("cores[{i}].{e}")))
+        .collect::<Result<_, _>>()?;
+    Ok(Stats {
+        cycles: get_u64(v, "cycles")?,
+        cores,
+        mem: mem_stats_from_json(get(v, "mem")?).map_err(|e| format!("mem.{e}"))?,
+        ring: ring_stats_from_json(get(v, "ring")?).map_err(|e| format!("ring.{e}"))?,
+        emc: emc_stats_from_json(get(v, "emc")?).map_err(|e| format!("emc.{e}"))?,
+        prefetch: prefetch_stats_from_json(get(v, "prefetch")?)
+            .map_err(|e| format!("prefetch.{e}"))?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Energy and the full result
+// ---------------------------------------------------------------------
+
+fn energy_to_json(e: &EnergyBreakdown) -> JsonValue {
+    let EnergyBreakdown {
+        core_dynamic_j,
+        cache_dynamic_j,
+        ring_dynamic_j,
+        dram_dynamic_j,
+        emc_dynamic_j,
+        chip_static_j,
+        dram_static_j,
+    } = e;
+    JsonValue::obj(vec![
+        ("core_dynamic_j", JsonValue::Num(*core_dynamic_j)),
+        ("cache_dynamic_j", JsonValue::Num(*cache_dynamic_j)),
+        ("ring_dynamic_j", JsonValue::Num(*ring_dynamic_j)),
+        ("dram_dynamic_j", JsonValue::Num(*dram_dynamic_j)),
+        ("emc_dynamic_j", JsonValue::Num(*emc_dynamic_j)),
+        ("chip_static_j", JsonValue::Num(*chip_static_j)),
+        ("dram_static_j", JsonValue::Num(*dram_static_j)),
+    ])
+}
+
+fn energy_from_json(v: &JsonValue) -> Result<EnergyBreakdown, String> {
+    Ok(EnergyBreakdown {
+        core_dynamic_j: get_f64(v, "core_dynamic_j")?,
+        cache_dynamic_j: get_f64(v, "cache_dynamic_j")?,
+        ring_dynamic_j: get_f64(v, "ring_dynamic_j")?,
+        dram_dynamic_j: get_f64(v, "dram_dynamic_j")?,
+        emc_dynamic_j: get_f64(v, "emc_dynamic_j")?,
+        chip_static_j: get_f64(v, "chip_static_j")?,
+        dram_static_j: get_f64(v, "dram_static_j")?,
+    })
+}
+
+/// Encode a full [`RunResult`].
+pub fn run_result_to_json(r: &RunResult) -> JsonValue {
+    let RunResult {
+        workload,
+        prefetcher,
+        emc,
+        stats,
+        energy,
+        ipcs,
+    } = r;
+    JsonValue::obj(vec![
+        ("workload", workload.as_str().into()),
+        ("prefetcher", prefetcher.as_str().into()),
+        ("emc", JsonValue::Bool(*emc)),
+        ("stats", stats_to_json(stats)),
+        ("energy", energy_to_json(energy)),
+        (
+            "ipcs",
+            JsonValue::Arr(ipcs.iter().map(|&v| JsonValue::Num(v)).collect()),
+        ),
+    ])
+}
+
+/// Decode a full [`RunResult`].
+pub fn run_result_from_json(v: &JsonValue) -> Result<RunResult, String> {
+    let ipcs = get(v, "ipcs")?
+        .as_arr()
+        .ok_or("ipcs: expected array")?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| "ipcs: expected number".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(RunResult {
+        workload: get_str(v, "workload")?.to_string(),
+        prefetcher: get_str(v, "prefetcher")?.to_string(),
+        emc: get_bool(v, "emc")?,
+        stats: stats_from_json(get(v, "stats")?).map_err(|e| format!("stats.{e}"))?,
+        energy: energy_from_json(get(v, "energy")?).map_err(|e| format!("energy.{e}"))?,
+        ipcs,
+    })
+}
+
+impl emc_types::ToJson for RunResult {
+    fn to_json_value(&self) -> JsonValue {
+        run_result_to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_types::SystemConfig;
+
+    fn busy_stats() -> Stats {
+        let mut s = Stats::new(2);
+        s.cycles = 1_234_567;
+        s.cores[0].retired_uops = 30_000;
+        s.cores[0].llc_misses = 777;
+        s.cores[0].record_chain_length(5);
+        s.cores[0].stall_episodes.record(1024);
+        s.cores[1].cycles = 999;
+        s.mem.dram_reads = 4242;
+        s.mem.core_miss_latency.record(300);
+        s.mem.core_miss_latency.record(9000);
+        s.mem.emc_miss_latency.record(250);
+        s.emc.chains_executed = 17;
+        s.emc.chain_latency.record(512);
+        s.prefetch.issued = 5;
+        s
+    }
+
+    fn result() -> RunResult {
+        let spec = crate::JobSpec::homog(
+            emc_workloads::Benchmark::Mcf,
+            SystemConfig::quad_core(),
+            1000,
+        );
+        let mut r = spec.to_result(busy_stats());
+        r.ipcs = vec![0.75, 0.5];
+        r
+    }
+
+    fn assert_result_eq(a: &RunResult, b: &RunResult) {
+        // RunResult has no PartialEq (Stats doesn't derive it); byte
+        // equality of the canonical encoding is the stronger check
+        // anyway — it is exactly what the cache relies on.
+        assert_eq!(
+            run_result_to_json(a).to_json(),
+            run_result_to_json(b).to_json()
+        );
+    }
+
+    #[test]
+    fn run_result_round_trips_exactly() {
+        let r = result();
+        let text = run_result_to_json(&r).to_json();
+        let back = run_result_from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_result_eq(&r, &back);
+        assert_eq!(back.stats.cycles, 1_234_567);
+        assert_eq!(back.stats.mem.core_miss_latency.count, 2);
+        assert_eq!(back.stats.mem.core_miss_latency.p99(), 9000);
+        assert_eq!(back.stats.cores[0].chain_length_hist[5], 1);
+        assert_eq!(back.ipcs, vec![0.75, 0.5]);
+    }
+
+    #[test]
+    fn saturated_u64_round_trips_via_string() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        let text = histogram_to_json(&h).to_json();
+        assert!(text.contains(&format!("\"{}\"", u64::MAX)), "{text}");
+        let back = histogram_from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn empty_histogram_round_trips_with_empty_buckets() {
+        let h = Histogram::new();
+        let back =
+            histogram_from_json(&JsonValue::parse(&histogram_to_json(&h).to_json()).unwrap())
+                .unwrap();
+        assert_eq!(back, h);
+        assert!(back.buckets.is_empty());
+    }
+
+    #[test]
+    fn decode_errors_name_the_path() {
+        let mut doc = run_result_to_json(&result());
+        if let JsonValue::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "energy");
+        }
+        let err = run_result_from_json(&doc).unwrap_err();
+        assert!(err.contains("energy"), "{err}");
+
+        let bad = JsonValue::parse(r#"{"count":1,"sum":-3,"min":0,"max":0,"buckets":[]}"#).unwrap();
+        let err = histogram_from_json(&bad).unwrap_err();
+        assert!(err.contains("sum"), "{err}");
+    }
+}

@@ -1,0 +1,609 @@
+//! The campaign engine: schedule jobs, consult the cache, retry faults,
+//! record progress.
+//!
+//! A [`Campaign`] is a named, ordered list of [`JobSpec`]s. Running it
+//! walks every job through one policy: known-failed jobs are skipped
+//! (unless retries are requested), cached results are hits, everything
+//! else executes on the work-stealing pool with bounded retries for
+//! [`RunOutcome::Wedged`] and immediate structured failure for
+//! [`RunOutcome::CapHit`] (the simulator is deterministic — a cap hit
+//! repeats, so retrying it only burns time). Every completed job is
+//! stored in the cache and journaled in the manifest before the
+//! campaign moves on, so an interrupt loses at most the jobs still in
+//! flight.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use emc_types::{Histogram, JsonValue, RunOutcome};
+
+use crate::cache::ResultCache;
+use crate::exec::parallel_map;
+use crate::manifest::{JobStatus, Manifest};
+use crate::spec::{JobKey, JobSpec, RunResult};
+
+/// Schema tag stamped into campaign report JSON.
+pub const REPORT_SCHEMA: &str = "emc-campaign-report-v1";
+
+/// Policy knobs for one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Result cache to consult and fill; `None` disables caching (every
+    /// job executes).
+    pub cache: Option<ResultCache>,
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Load the prior manifest and skip already-`done` bookkeeping. When
+    /// false a fresh manifest overwrites any prior one (the result cache
+    /// still deduplicates actual simulation work).
+    pub resume: bool,
+    /// Re-execute jobs the manifest recorded as failed.
+    pub retry_failed: bool,
+    /// How many times to re-run a job that wedges before recording it
+    /// failed. Cap hits never retry (deterministic).
+    pub wedge_retries: u32,
+    /// Execute at most this many cache misses, deferring the rest as
+    /// pending. This is the interrupt: CI's resume test and `--max-jobs`
+    /// stop a campaign mid-flight without killing the process.
+    pub max_fresh_runs: Option<usize>,
+    /// Emit live progress lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            cache: Some(ResultCache::default_dir()),
+            workers: 0,
+            resume: true,
+            retry_failed: false,
+            wedge_retries: 2,
+            max_fresh_runs: None,
+            progress: true,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// Options for tests and library callers: explicit cache root, no
+    /// progress chatter.
+    pub fn quiet(cache: Option<ResultCache>) -> Self {
+        CampaignOptions {
+            cache,
+            progress: false,
+            ..CampaignOptions::default()
+        }
+    }
+}
+
+/// Where a job's result (or absence of one) came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSource {
+    /// Loaded from the result cache.
+    CacheHit,
+    /// Freshly simulated this run.
+    Executed,
+    /// Skipped: the manifest says it already failed and `retry_failed`
+    /// is off.
+    SkippedFailed,
+    /// Deferred: the `max_fresh_runs` interrupt budget ran out.
+    Deferred,
+}
+
+impl JobSource {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobSource::CacheHit => "cache-hit",
+            JobSource::Executed => "executed",
+            JobSource::SkippedFailed => "skipped-failed",
+            JobSource::Deferred => "deferred",
+        }
+    }
+}
+
+/// One job's outcome within a campaign run.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Display label.
+    pub label: String,
+    /// Content-addressed key.
+    pub key: JobKey,
+    /// How the engine resolved this job.
+    pub source: JobSource,
+    /// Human-readable outcome ("completed", "cache-hit", "wedged after
+    /// 3 attempts", ...).
+    pub outcome: String,
+    /// Simulation attempts spent this run (0 for hits/skips).
+    pub attempts: u32,
+    /// The result, when the job completed or hit.
+    pub result: Option<RunResult>,
+}
+
+/// Everything a finished campaign run knows about itself.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-job records, in campaign order.
+    pub records: Vec<JobRecord>,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// Jobs resolved from the cache.
+    pub fn hits(&self) -> usize {
+        self.count(JobSource::CacheHit)
+    }
+
+    /// Jobs simulated this run.
+    pub fn executed(&self) -> usize {
+        self.count(JobSource::Executed)
+    }
+
+    /// Jobs with no result (failed, skipped, or deferred).
+    pub fn unresolved(&self) -> usize {
+        self.records.iter().filter(|r| r.result.is_none()).count()
+    }
+
+    /// Jobs deferred by the `max_fresh_runs` interrupt budget.
+    pub fn deferred(&self) -> usize {
+        self.count(JobSource::Deferred)
+    }
+
+    fn count(&self, s: JobSource) -> usize {
+        self.records.iter().filter(|r| r.source == s).count()
+    }
+
+    /// Fraction of all jobs resolved from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.hits() as f64 / self.records.len() as f64
+    }
+
+    /// Unwrap every job's result, in campaign order.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing every unresolved job (label and outcome) if any
+    /// job failed, was skipped, or was deferred — partial grids must
+    /// never silently become figures.
+    pub fn expect_completed(&self) -> Vec<RunResult> {
+        let missing: Vec<String> = self
+            .records
+            .iter()
+            .filter(|r| r.result.is_none())
+            .map(|r| format!("  {} [{}]: {}", r.label, r.source.as_str(), r.outcome))
+            .collect();
+        if !missing.is_empty() {
+            panic!(
+                "campaign {:?}: {} of {} jobs unresolved:\n{}",
+                self.name,
+                missing.len(),
+                self.records.len(),
+                missing.join("\n")
+            );
+        }
+        self.records
+            .iter()
+            .map(|r| r.result.clone().expect("checked above"))
+            .collect()
+    }
+
+    /// Merge one histogram, selected by `pick`, across every completed
+    /// job — campaign-level latency distributions without re-binning
+    /// (see `Histogram::merge`).
+    pub fn merged_hist<F>(&self, pick: F) -> Histogram
+    where
+        F: Fn(&RunResult) -> &Histogram,
+    {
+        let mut acc = Histogram::new();
+        for r in self.records.iter().filter_map(|r| r.result.as_ref()) {
+            acc.merge(pick(r));
+        }
+        acc
+    }
+
+    /// The report as a JSON document (`emc-campaign-report-v1`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", REPORT_SCHEMA.into()),
+            ("name", self.name.as_str().into()),
+            ("total", (self.records.len() as u64).into()),
+            ("cache_hits", (self.hits() as u64).into()),
+            ("executed", (self.executed() as u64).into()),
+            ("deferred", (self.deferred() as u64).into()),
+            ("unresolved", (self.unresolved() as u64).into()),
+            ("hit_rate", self.hit_rate().into()),
+            ("wall_ms", (self.wall.as_millis() as u64).into()),
+            (
+                "jobs",
+                JsonValue::Arr(
+                    self.records
+                        .iter()
+                        .map(|r| {
+                            JsonValue::obj(vec![
+                                ("label", r.label.as_str().into()),
+                                ("key", r.key.0.as_str().into()),
+                                ("source", r.source.as_str().into()),
+                                ("outcome", r.outcome.as_str().into()),
+                                ("attempts", (r.attempts as u64).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A named, ordered set of jobs to resolve.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Name — also the manifest file stem.
+    pub name: String,
+    /// The jobs, in presentation order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Campaign {
+    /// Define a campaign.
+    pub fn new(name: impl Into<String>, jobs: Vec<JobSpec>) -> Self {
+        Campaign {
+            name: name.into(),
+            jobs,
+        }
+    }
+
+    /// Run every job under `opts` and report how each resolved.
+    pub fn run(&self, opts: &CampaignOptions) -> CampaignReport {
+        let start = Instant::now();
+        let keys: Vec<JobKey> = self.jobs.iter().map(|j| j.key()).collect();
+
+        // Load (or create) the manifest keyed to this exact job list.
+        let manifest = self.load_or_fresh_manifest(&keys, opts);
+        let prior: Vec<(JobStatus, u32, String)> = manifest
+            .entries
+            .iter()
+            .map(|e| (e.status, e.attempts, e.outcome.clone()))
+            .collect();
+        let manifest = Mutex::new(manifest);
+
+        let done = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let fresh = AtomicUsize::new(0);
+        let total = self.jobs.len();
+
+        let records = parallel_map((0..total).collect::<Vec<usize>>(), opts.workers, |_, &i| {
+            let record = self.resolve_one(i, &keys[i], &prior[i], opts, &fresh);
+
+            // Journal the job before reporting progress, so a kill
+            // after this line never forgets completed work.
+            if record.source != JobSource::Deferred {
+                let mut m = manifest.lock().expect("manifest lock");
+                let entry = &mut m.entries[i];
+                entry.status = if record.result.is_some() {
+                    JobStatus::Done
+                } else {
+                    JobStatus::Failed
+                };
+                entry.attempts += record.attempts;
+                entry.outcome = record.outcome.clone();
+                if let Some(cache) = &opts.cache {
+                    if let Err(e) = m.save(cache.root()) {
+                        eprintln!("# campaign {}: {e}", self.name);
+                    }
+                }
+            }
+
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let h = if record.source == JobSource::CacheHit {
+                hits.fetch_add(1, Ordering::Relaxed) + 1
+            } else {
+                hits.load(Ordering::Relaxed)
+            };
+            if opts.progress {
+                progress_line(&self.name, d, total, h, start.elapsed());
+            }
+            record
+        });
+        if opts.progress {
+            eprintln!();
+        }
+
+        CampaignReport {
+            name: self.name.clone(),
+            records,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Resolve job `i`: skip, cache hit, defer, or execute with retries.
+    fn resolve_one(
+        &self,
+        i: usize,
+        key: &JobKey,
+        prior: &(JobStatus, u32, String),
+        opts: &CampaignOptions,
+        fresh: &AtomicUsize,
+    ) -> JobRecord {
+        let spec = &self.jobs[i];
+        let mut record = JobRecord {
+            label: spec.label.clone(),
+            key: key.clone(),
+            source: JobSource::Executed,
+            outcome: String::new(),
+            attempts: 0,
+            result: None,
+        };
+
+        if prior.0 == JobStatus::Failed && !opts.retry_failed {
+            record.source = JobSource::SkippedFailed;
+            record.outcome = format!("skipped (previously failed: {})", prior.2);
+            return record;
+        }
+
+        if let Some(cache) = &opts.cache {
+            if let Some(result) = cache.load(spec) {
+                record.source = JobSource::CacheHit;
+                record.outcome = "cache-hit".into();
+                record.result = Some(result);
+                return record;
+            }
+        }
+
+        if let Some(limit) = opts.max_fresh_runs {
+            if fresh.fetch_add(1, Ordering::Relaxed) >= limit {
+                record.source = JobSource::Deferred;
+                record.outcome = "deferred (fresh-run budget exhausted)".into();
+                return record;
+            }
+        }
+
+        // Execute, retrying wedges up to the bound. The simulator is
+        // deterministic, but the fault-injection layer makes wedges
+        // seed-dependent rare events worth a bounded second look; cap
+        // hits are pure determinism and fail immediately.
+        loop {
+            record.attempts += 1;
+            let report = spec.execute();
+            match report.outcome {
+                RunOutcome::Completed => {
+                    let result = spec.to_result(report.stats);
+                    if let Some(cache) = &opts.cache {
+                        if let Err(e) = cache.store(spec, &result) {
+                            eprintln!("# campaign {}: {e}", self.name);
+                        }
+                    }
+                    record.outcome = if record.attempts > 1 {
+                        format!("completed (attempt {})", record.attempts)
+                    } else {
+                        "completed".into()
+                    };
+                    record.result = Some(result);
+                    return record;
+                }
+                RunOutcome::Wedged if record.attempts <= opts.wedge_retries => {
+                    eprintln!(
+                        "# campaign {}: {} wedged (attempt {}), retrying",
+                        self.name, spec.label, record.attempts
+                    );
+                }
+                RunOutcome::Wedged => {
+                    let diag = report
+                        .wedge
+                        .map(|w| format!(" at cycle {}", w.cycle))
+                        .unwrap_or_default();
+                    record.outcome = format!("wedged{diag} after {} attempts", record.attempts);
+                    return record;
+                }
+                RunOutcome::CapHit => {
+                    record.outcome = format!(
+                        "cycle-cap hit after {} cycles (not retried: deterministic)",
+                        report.stats.cycles
+                    );
+                    return record;
+                }
+            }
+        }
+    }
+
+    fn load_or_fresh_manifest(&self, keys: &[JobKey], opts: &CampaignOptions) -> Manifest {
+        let job_list: Vec<(JobKey, String)> = keys
+            .iter()
+            .cloned()
+            .zip(self.jobs.iter().map(|j| j.label.clone()))
+            .collect();
+        let fresh = || Manifest::fresh(&self.name, &job_list);
+        let Some(cache) = &opts.cache else {
+            return fresh();
+        };
+        if !opts.resume {
+            return fresh();
+        }
+        match Manifest::load(cache.root(), &self.name) {
+            Some(m) if m.id == Manifest::id_of(keys) && m.entries.len() == keys.len() => m,
+            Some(_) => {
+                eprintln!(
+                    "# campaign {}: job list changed; discarding stale manifest",
+                    self.name
+                );
+                fresh()
+            }
+            None => fresh(),
+        }
+    }
+}
+
+/// One `\r`-terminated progress line: jobs done, hit count/rate, ETA
+/// extrapolated from throughput so far.
+fn progress_line(name: &str, done: usize, total: usize, hits: usize, elapsed: Duration) {
+    let rate = if done > 0 {
+        hits as f64 / done as f64 * 100.0
+    } else {
+        0.0
+    };
+    let eta = if done > 0 && done < total {
+        let per_job = elapsed.as_secs_f64() / done as f64;
+        format!(" · eta {:.0}s", per_job * (total - done) as f64)
+    } else {
+        String::new()
+    };
+    eprint!("\r# campaign {name}: {done}/{total} · {hits} hits ({rate:.0}%){eta}        ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emc_types::SystemConfig;
+    use emc_workloads::Benchmark;
+    use std::path::PathBuf;
+
+    fn tmpcache(tag: &str) -> ResultCache {
+        let d: PathBuf =
+            std::env::temp_dir().join(format!("emc-engine-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        ResultCache::new(d)
+    }
+
+    fn tiny_quad(seed_bump: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::quad_core();
+        cfg.seed ^= seed_bump;
+        cfg
+    }
+
+    fn tiny_campaign(cache_tag: u64) -> Campaign {
+        // Three distinct jobs (two workloads, two budgets); the seed
+        // bump keeps each test's keys out of the others' cache dirs.
+        Campaign::new(
+            "engine-test",
+            vec![
+                JobSpec::homog(Benchmark::Mcf, tiny_quad(cache_tag), 400),
+                JobSpec::homog(Benchmark::Lbm, tiny_quad(cache_tag), 400),
+                JobSpec::homog(Benchmark::Mcf, tiny_quad(cache_tag), 500),
+            ],
+        )
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits() {
+        let cache = tmpcache("rerun");
+        let root = cache.root().to_path_buf();
+        let campaign = tiny_campaign(0);
+        let opts = CampaignOptions {
+            workers: 2,
+            ..CampaignOptions::quiet(Some(cache))
+        };
+
+        let cold = campaign.run(&opts);
+        assert_eq!(cold.executed(), 3);
+        assert_eq!(cold.hits(), 0);
+        let cold_results = cold.expect_completed();
+        assert_eq!(cold_results.len(), 3);
+
+        let warm = campaign.run(&opts);
+        assert_eq!(warm.hits(), 3, "everything cached");
+        assert_eq!(warm.executed(), 0);
+        assert!((warm.hit_rate() - 1.0).abs() < 1e-12);
+
+        // Hits reproduce the executed statistics exactly.
+        let warm_results = warm.expect_completed();
+        for (a, b) in cold_results.iter().zip(&warm_results) {
+            assert_eq!(a.stats.cycles, b.stats.cycles);
+            assert_eq!(a.ipcs, b.ipcs);
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_without_rerunning() {
+        let cache = tmpcache("resume");
+        let root = cache.root().to_path_buf();
+        let campaign = tiny_campaign(1);
+
+        // "Interrupt" after one fresh run.
+        let interrupted = campaign.run(&CampaignOptions {
+            workers: 1,
+            max_fresh_runs: Some(1),
+            ..CampaignOptions::quiet(Some(ResultCache::new(&root)))
+        });
+        assert_eq!(interrupted.executed(), 1);
+        assert_eq!(interrupted.deferred(), 2);
+
+        let m = Manifest::load(&root, "engine-test").expect("manifest persisted");
+        assert_eq!(
+            m.done_count(),
+            1,
+            "completed job journaled before interrupt"
+        );
+
+        // Resume: the completed job is a hit, only the remainder runs.
+        let resumed = campaign.run(&CampaignOptions {
+            workers: 1,
+            ..CampaignOptions::quiet(Some(ResultCache::new(&root)))
+        });
+        assert_eq!(resumed.hits(), 1, "finished job not re-executed");
+        assert_eq!(resumed.executed(), 2);
+        resumed.expect_completed();
+        let m = Manifest::load(&root, "engine-test").unwrap();
+        assert_eq!(m.done_count(), 3);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn no_cache_means_every_job_executes() {
+        let campaign = Campaign::new(
+            "uncached",
+            vec![JobSpec::homog(Benchmark::Mcf, tiny_quad(2), 300)],
+        );
+        let opts = CampaignOptions::quiet(None);
+        let r1 = campaign.run(&opts);
+        let r2 = campaign.run(&opts);
+        assert_eq!(r1.executed() + r2.executed(), 2);
+        assert_eq!(r1.hits() + r2.hits(), 0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let cache = tmpcache("report");
+        let root = cache.root().to_path_buf();
+        let campaign = Campaign::new(
+            "report-test",
+            vec![JobSpec::homog(Benchmark::Lbm, tiny_quad(3), 300)],
+        );
+        let report = campaign.run(&CampaignOptions::quiet(Some(cache)));
+        let doc = JsonValue::parse(&report.to_json().to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(doc.get("total").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(
+            doc.get("jobs")
+                .and_then(|j| j.idx(0))
+                .and_then(|j| j.get("source"))
+                .and_then(|v| v.as_str()),
+            Some("executed")
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn merged_hist_aggregates_across_jobs() {
+        let cache = tmpcache("hist");
+        let root = cache.root().to_path_buf();
+        let campaign = tiny_campaign(4);
+        let report = campaign.run(&CampaignOptions::quiet(Some(cache)));
+        let merged = report.merged_hist(|r| &r.stats.mem.core_miss_latency);
+        let sum: u64 = report
+            .expect_completed()
+            .iter()
+            .map(|r| r.stats.mem.core_miss_latency.count)
+            .sum();
+        assert_eq!(merged.count, sum, "merge preserves total sample count");
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

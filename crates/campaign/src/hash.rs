@@ -1,0 +1,68 @@
+//! 128-bit content hashing for job keys.
+//!
+//! Two independent 64-bit FNV-1a streams (distinct offset bases and odd
+//! multipliers) run over the same bytes, each finalized with a
+//! splitmix64 avalanche. This is not a cryptographic hash — campaign
+//! keys only need to separate *accidentally* similar job specs, and the
+//! canonical spec encoding already makes every field byte-visible — but
+//! 128 bits keep the birthday bound far beyond any realistic campaign
+//! size (billions of jobs).
+
+/// Hash `bytes` to a 32-character lowercase hex digest.
+pub fn digest128_hex(bytes: &[u8]) -> String {
+    let (a, b) = digest128(bytes);
+    format!("{a:016x}{b:016x}")
+}
+
+/// Hash `bytes` to two independent 64-bit words.
+pub fn digest128(bytes: &[u8]) -> (u64, u64) {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut b: u64 = 0x9ae1_6a3b_2f90_404f;
+    for &byte in bytes {
+        a = (a ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        b = (b ^ byte as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    }
+    (mix(a), mix(b))
+}
+
+/// splitmix64 finalizer: avalanches the weak low-order diffusion of a
+/// plain multiplicative hash.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_hex() {
+        let d = digest128_hex(b"emc");
+        assert_eq!(d.len(), 32);
+        assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(d, digest128_hex(b"emc"), "deterministic");
+    }
+
+    #[test]
+    fn single_byte_flips_change_the_digest() {
+        let base = digest128_hex(b"campaign-spec");
+        for i in 0..b"campaign-spec".len() {
+            let mut m = b"campaign-spec".to_vec();
+            m[i] ^= 1;
+            assert_ne!(digest128_hex(&m), base, "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_prefix_inputs_differ() {
+        let d0 = digest128_hex(b"");
+        let d1 = digest128_hex(b"a");
+        let d2 = digest128_hex(b"ab");
+        assert_ne!(d0, d1);
+        assert_ne!(d1, d2);
+    }
+}

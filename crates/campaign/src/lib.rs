@@ -1,0 +1,50 @@
+//! Deterministic experiment orchestration for the EMC simulator.
+//!
+//! The figure grid (Figs. 1–24 + ablations) re-simulates the same
+//! baseline configurations over and over, and a serial `figures all`
+//! run that wedges or is interrupted throws away everything it already
+//! computed. This crate turns ad-hoc figure runs into declarative,
+//! cached, resumable **campaigns**:
+//!
+//! - [`JobSpec`] — one workload mix × [`SystemConfig`] × budget, hashed
+//!   (with a code-version fingerprint) into a content-addressed
+//!   [`JobKey`]. Two specs share a key exactly when they would produce
+//!   byte-identical results.
+//! - [`ResultCache`] — completed [`RunResult`]s stored once under
+//!   `results/cache/<shard>/<key>.json`; every re-run or cross-figure
+//!   duplicate is a cache hit with byte-identical output. Writes are
+//!   atomic (temp file + rename); corrupt entries degrade to misses.
+//! - [`Manifest`] — per-job status journaled after every job, so an
+//!   interrupted campaign resumes without re-running completed work.
+//! - [`Campaign`] / [`CampaignOptions`] — the engine: a work-stealing
+//!   executor ([`parallel_map`]) across all cores, bounded retries for
+//!   wedged runs, immediate structured failure for cap hits, and live
+//!   progress lines (done/total, hit rate, ETA).
+//! - [`CampaignReport`] — per-job provenance (hit / executed / skipped /
+//!   deferred) plus campaign-level aggregation via `Histogram::merge`.
+//!
+//! The `campaign` binary exposes the same engine on the command line;
+//! the `emc-bench` figure harnesses are thin layers over this crate.
+
+pub mod cache;
+pub mod codec;
+pub mod engine;
+pub mod exec;
+pub mod hash;
+pub mod manifest;
+pub mod spec;
+pub mod suite;
+
+pub use cache::{ResultCache, CACHE_SCHEMA, DEFAULT_CACHE_DIR};
+pub use codec::{
+    histogram_from_json, histogram_to_json, run_result_from_json, run_result_to_json,
+    stats_from_json, stats_to_json,
+};
+pub use engine::{Campaign, CampaignOptions, CampaignReport, JobRecord, JobSource, REPORT_SCHEMA};
+pub use exec::{default_workers, parallel_map};
+pub use hash::{digest128, digest128_hex};
+pub use manifest::{JobStatus, Manifest, ManifestEntry, MANIFEST_SCHEMA};
+pub use spec::{
+    benchmark_by_name, code_fingerprint, config_json, JobKey, JobSpec, RunResult, CACHE_EPOCH,
+};
+pub use suite::{config_grid, homog_jobs, mix8_jobs, quad_jobs};

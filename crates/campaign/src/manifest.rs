@@ -1,0 +1,290 @@
+//! Campaign manifests: per-job status that survives interrupts.
+//!
+//! A manifest records, for every job in a named campaign, its content
+//! key and how its last attempt ended. The engine updates the manifest
+//! after each job (atomic temp-file + rename, like the cache), so a
+//! `figures all` killed at job 37 of 80 can restart, see 36 `done`
+//! entries whose results are already in the cache, and only execute the
+//! remainder. The campaign id is a digest of the ordered job keys: if
+//! the job list changes (new budget, new grid, new code fingerprint),
+//! the id changes and the stale manifest is discarded rather than
+//! trusted.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use emc_types::JsonValue;
+
+use crate::hash::digest128_hex;
+use crate::spec::JobKey;
+
+/// Schema tag stamped into every manifest file.
+pub const MANIFEST_SCHEMA: &str = "emc-campaign-manifest-v1";
+
+/// How far one job has progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Not yet attempted (or attempted in a run that died mid-job).
+    Pending,
+    /// Completed; its result is in the cache.
+    Done,
+    /// Attempted and failed (wedge retries exhausted, or cap hit).
+    Failed,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Pending => "pending",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<JobStatus> {
+        match s {
+            "pending" => Some(JobStatus::Pending),
+            "done" => Some(JobStatus::Done),
+            "failed" => Some(JobStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One job's manifest row.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Content-addressed key (ties the row to a cache entry).
+    pub key: JobKey,
+    /// Display label at the time the campaign was defined.
+    pub label: String,
+    /// Last known status.
+    pub status: JobStatus,
+    /// Execution attempts so far (cache hits don't count).
+    pub attempts: u32,
+    /// Short outcome note ("completed", "cache-hit", "wedged at ...").
+    pub outcome: String,
+}
+
+/// The persisted state of one named campaign.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Campaign name (also the file stem).
+    pub name: String,
+    /// Digest of the ordered job keys — identifies the job *list*.
+    pub id: String,
+    /// One row per job, in campaign order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// The id of a job list: order-sensitive digest over the keys.
+    pub fn id_of(keys: &[JobKey]) -> String {
+        let joined: String = keys.iter().map(|k| k.0.as_str()).collect();
+        digest128_hex(joined.as_bytes())
+    }
+
+    /// A fresh manifest with every job pending.
+    pub fn fresh(name: &str, jobs: &[(JobKey, String)]) -> Manifest {
+        Manifest {
+            name: name.to_string(),
+            id: Manifest::id_of(&jobs.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>()),
+            entries: jobs
+                .iter()
+                .map(|(key, label)| ManifestEntry {
+                    key: key.clone(),
+                    label: label.clone(),
+                    status: JobStatus::Pending,
+                    attempts: 0,
+                    outcome: String::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Where a campaign named `name` keeps its manifest, under the cache
+    /// root.
+    pub fn path_for(cache_root: &Path, name: &str) -> PathBuf {
+        cache_root.join("manifests").join(format!("{name}.json"))
+    }
+
+    /// Load the manifest for `name` if one exists and is well-formed.
+    /// Corrupt manifests are discarded (the cache still deduplicates any
+    /// completed work, so losing a manifest costs lookups, not runs).
+    pub fn load(cache_root: &Path, name: &str) -> Option<Manifest> {
+        let path = Manifest::path_for(cache_root, name);
+        let text = fs::read_to_string(&path).ok()?;
+        match Manifest::from_json_text(&text) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!(
+                    "# manifest: corrupt {} ({e}); starting fresh",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Persist atomically under the cache root.
+    pub fn save(&self, cache_root: &Path) -> Result<PathBuf, String> {
+        let path = Manifest::path_for(cache_root, &self.name);
+        let dir = path.parent().expect("manifest path has a parent");
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("manifest: cannot create {}: {e}", dir.display()))?;
+        let mut text = self.to_json().to_json();
+        text.push('\n');
+        let tmp = dir.join(format!(".{}.tmp", self.name));
+        fs::write(&tmp, &text).map_err(|e| format!("manifest: write {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            format!(
+                "manifest: rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            )
+        })?;
+        Ok(path)
+    }
+
+    /// Number of entries already `Done`.
+    pub fn done_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.status == JobStatus::Done)
+            .count()
+    }
+
+    /// The manifest as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", MANIFEST_SCHEMA.into()),
+            ("name", self.name.as_str().into()),
+            ("id", self.id.as_str().into()),
+            ("total", (self.entries.len() as u64).into()),
+            ("done", (self.done_count() as u64).into()),
+            (
+                "jobs",
+                JsonValue::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            JsonValue::obj(vec![
+                                ("key", e.key.0.as_str().into()),
+                                ("label", e.label.as_str().into()),
+                                ("status", e.status.as_str().into()),
+                                ("attempts", (e.attempts as u64).into()),
+                                ("outcome", e.outcome.as_str().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a manifest document (inverse of [`Manifest::to_json`]).
+    pub fn from_json_text(text: &str) -> Result<Manifest, String> {
+        let doc = JsonValue::parse(text)?;
+        let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+        if schema != MANIFEST_SCHEMA {
+            return Err(format!("schema {schema:?}, expected {MANIFEST_SCHEMA:?}"));
+        }
+        let name = doc
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("missing name")?
+            .to_string();
+        let id = doc
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or("missing id")?
+            .to_string();
+        let jobs = doc
+            .get("jobs")
+            .and_then(|v| v.as_arr())
+            .ok_or("missing jobs")?;
+        let entries = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let field = |k: &str| {
+                    j.get(k)
+                        .and_then(|v| v.as_str())
+                        .ok_or_else(|| format!("jobs[{i}]: missing {k}"))
+                };
+                Ok(ManifestEntry {
+                    key: JobKey(field("key")?.to_string()),
+                    label: field("label")?.to_string(),
+                    status: JobStatus::parse(field("status")?)
+                        .ok_or_else(|| format!("jobs[{i}]: bad status"))?,
+                    attempts: j.get("attempts").and_then(|v| v.as_f64()).unwrap_or(0.0) as u32,
+                    outcome: field("outcome")?.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Manifest { name, id, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("emc-manifest-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn keys(n: usize) -> Vec<(JobKey, String)> {
+        (0..n)
+            .map(|i| (JobKey(format!("{i:032x}")), format!("job{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn fresh_save_load_round_trips() {
+        let root = tmproot("roundtrip");
+        let mut m = Manifest::fresh("smoke", &keys(3));
+        m.entries[1].status = JobStatus::Done;
+        m.entries[1].attempts = 1;
+        m.entries[1].outcome = "completed".into();
+        m.save(&root).unwrap();
+
+        let back = Manifest::load(&root, "smoke").expect("load saved manifest");
+        assert_eq!(back.id, m.id);
+        assert_eq!(back.entries.len(), 3);
+        assert_eq!(back.entries[1].status, JobStatus::Done);
+        assert_eq!(back.entries[1].attempts, 1);
+        assert_eq!(back.done_count(), 1);
+        assert_eq!(back.entries[0].status, JobStatus::Pending);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn id_depends_on_job_list_and_order() {
+        let a = Manifest::fresh("a", &keys(3));
+        let b = Manifest::fresh("a", &keys(4));
+        assert_ne!(a.id, b.id, "different job lists");
+        let mut rev = keys(3);
+        rev.reverse();
+        let c = Manifest::fresh("a", &rev);
+        assert_ne!(a.id, c.id, "order matters: rows map to jobs by index");
+    }
+
+    #[test]
+    fn corrupt_manifest_is_discarded() {
+        let root = tmproot("corrupt");
+        let m = Manifest::fresh("smoke", &keys(2));
+        let path = m.save(&root).unwrap();
+        fs::write(&path, "{broken").unwrap();
+        assert!(Manifest::load(&root, "smoke").is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_manifest_is_none() {
+        assert!(Manifest::load(Path::new("/nonexistent-emc"), "nope").is_none());
+    }
+}

@@ -1,0 +1,497 @@
+//! Declarative job specifications and their content-addressed keys.
+//!
+//! A [`JobSpec`] is everything needed to reproduce one simulation run:
+//! the per-core workload list, the full [`SystemConfig`], and the
+//! retired-uop budget (the seed lives inside the config). Its
+//! [`key`](JobSpec::key) hashes a *canonical* encoding of all of that
+//! plus a code-version fingerprint, so two specs collide exactly when
+//! they would produce byte-identical results — which is what lets the
+//! result cache deduplicate the same baseline run across figures.
+//!
+//! The canonical encoding destructures every config struct without a
+//! `..` rest pattern: adding a field to [`SystemConfig`] (or any nested
+//! config) breaks compilation here until the encoder includes it, so the
+//! fingerprint can never silently go stale.
+
+use emc_energy::{estimate_default, EnergyBreakdown};
+use emc_sim::{eight_core_mix, run_mix};
+use emc_types::{
+    CacheConfig, CoreConfig, DramConfig, EmcConfig, FaultPlan, JsonValue, PrefetchConfig,
+    RingConfig, RunReport, Stats, SystemConfig,
+};
+use emc_workloads::Benchmark;
+
+use crate::hash::digest128_hex;
+
+/// Bump when a change anywhere in the simulator alters results without
+/// touching any [`SystemConfig`] field — stale cache entries are then
+/// unreachable because every key embeds this value.
+pub const CACHE_EPOCH: u32 = 1;
+
+/// The code-version fingerprint mixed into every job key. CI (or any
+/// caller wanting exact provenance) can set `EMC_CODE_FINGERPRINT` at
+/// *compile* time to a git SHA; otherwise the crate version plus
+/// [`CACHE_EPOCH`] stand in.
+pub fn code_fingerprint() -> String {
+    match option_env!("EMC_CODE_FINGERPRINT") {
+        Some(sha) => format!("emc-campaign-e{CACHE_EPOCH}+{sha}"),
+        None => format!("emc-campaign-e{CACHE_EPOCH}+v{}", env!("CARGO_PKG_VERSION")),
+    }
+}
+
+/// One simulated configuration of one workload — the unit the campaign
+/// engine schedules, caches, and retries. Mirrors what the bench
+/// harness's former `run_one_mix` / `run_one_homog` / `run_one_mix8`
+/// trio each rebuilt by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Display label ("H4", "mcfx4", "contexts=2", ...). Not part of
+    /// the content key: relabeling a job must still hit the cache.
+    pub label: String,
+    /// Benchmark per core (`benches.len() == cfg.cores`).
+    pub benches: Vec<Benchmark>,
+    /// Full system configuration (includes the seed).
+    pub cfg: SystemConfig,
+    /// Per-core retired-uop budget — the *resolved* value, never an
+    /// environment-variable name, so the key is environment-independent.
+    pub budget: u64,
+}
+
+impl JobSpec {
+    /// A heterogeneous quad-core mix (the former `run_one_mix`).
+    pub fn mix(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> Self {
+        JobSpec {
+            label: name.to_string(),
+            benches: mix.to_vec(),
+            cfg,
+            budget,
+        }
+    }
+
+    /// A homogeneous workload: `cfg.cores` copies of `bench` (the former
+    /// `run_one_homog`).
+    pub fn homog(bench: Benchmark, cfg: SystemConfig, budget: u64) -> Self {
+        JobSpec {
+            label: format!("{}x{}", bench.name(), cfg.cores),
+            benches: vec![bench; cfg.cores],
+            cfg,
+            budget,
+        }
+    }
+
+    /// An eight-core mix: two copies of a quad mix (the former
+    /// `run_one_mix8`, §5 of the paper).
+    pub fn mix8(name: &str, mix: [Benchmark; 4], cfg: SystemConfig, budget: u64) -> Self {
+        JobSpec {
+            label: name.to_string(),
+            benches: eight_core_mix(mix),
+            cfg,
+            budget,
+        }
+    }
+
+    /// Replace the display label (ablation harnesses name jobs after the
+    /// swept parameter, not the workload).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The content-addressed cache key: a 128-bit digest of the
+    /// canonical spec encoding (workloads, every config field, budget)
+    /// plus the [`code_fingerprint`].
+    pub fn key(&self) -> JobKey {
+        JobKey(digest128_hex(self.canonical_json().to_json().as_bytes()))
+    }
+
+    /// Canonical JSON encoding of everything that identifies this job.
+    /// Insertion-ordered and exhaustive (see module docs), so equal
+    /// specs encode byte-identically.
+    pub fn canonical_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("fingerprint", code_fingerprint().into()),
+            (
+                "benches",
+                JsonValue::Arr(self.benches.iter().map(|b| b.name().into()).collect()),
+            ),
+            ("budget", u(self.budget)),
+            ("config", config_json(&self.cfg)),
+        ])
+    }
+
+    /// Execute the job (half-budget warmup then measurement, exactly as
+    /// the figure harnesses always did) and report how the run ended.
+    pub fn execute(&self) -> RunReport {
+        run_mix(self.cfg.clone(), &self.benches, self.budget)
+    }
+
+    /// Package completed statistics as a [`RunResult`] for this spec.
+    pub fn to_result(&self, stats: Stats) -> RunResult {
+        let energy = estimate_default(&stats, &self.cfg);
+        let ipcs = stats.cores.iter().map(|c| c.ipc()).collect();
+        RunResult {
+            workload: self.label.clone(),
+            prefetcher: self.cfg.prefetcher.label().to_string(),
+            emc: self.cfg.emc.enabled,
+            stats,
+            energy,
+            ipcs,
+        }
+    }
+
+    /// Execute and unwrap a completed run (panics with the full wedge /
+    /// cap diagnosis otherwise) — the single code path behind every
+    /// uncached figure run.
+    pub fn run_now(&self) -> RunResult {
+        self.to_result(self.execute().expect_completed())
+    }
+}
+
+/// A job's content-addressed identity: 32 lowercase hex characters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey(pub String);
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One simulated configuration's measured outcome (moved here from
+/// `emc-bench` so figures and campaigns share a single result type).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload label ("H4", "mcf x4", ...).
+    pub workload: String,
+    /// Prefetcher configuration.
+    pub prefetcher: String,
+    /// Whether the EMC was enabled.
+    pub emc: bool,
+    /// Full statistics.
+    pub stats: Stats,
+    /// Energy estimate.
+    pub energy: EnergyBreakdown,
+    /// Per-core IPCs (for weighted speedup against a baseline run).
+    pub ipcs: Vec<f64>,
+}
+
+/// Encode a `u64` exactly: numbers up to 2^53 fit JSON's double grid;
+/// larger values (saturated histogram sums) are carried as strings so
+/// the codec round-trips bit-exactly.
+pub(crate) fn u(v: u64) -> JsonValue {
+    if v <= (1u64 << 53) {
+        JsonValue::Num(v as f64)
+    } else {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+fn b(v: bool) -> JsonValue {
+    JsonValue::Bool(v)
+}
+
+fn f(v: f64) -> JsonValue {
+    JsonValue::Num(v)
+}
+
+/// Canonical encoding of a [`SystemConfig`]. Every field of every
+/// nested struct is named; the destructuring patterns are intentionally
+/// `..`-free so new fields cannot be omitted silently.
+pub fn config_json(cfg: &SystemConfig) -> JsonValue {
+    let SystemConfig {
+        cores,
+        memory_controllers,
+        core,
+        l1,
+        llc_slice,
+        ring,
+        dram,
+        prefetcher,
+        prefetch,
+        emc,
+        seed,
+        ideal_dependent_hits,
+        faults,
+    } = cfg;
+    JsonValue::obj(vec![
+        ("cores", u(*cores as u64)),
+        ("memory_controllers", u(*memory_controllers as u64)),
+        ("core", core_json(core)),
+        ("l1", cache_json(l1)),
+        ("llc_slice", cache_json(llc_slice)),
+        ("ring", ring_json(ring)),
+        ("dram", dram_json(dram)),
+        ("prefetcher", prefetcher.label().into()),
+        ("prefetch", prefetch_json(prefetch)),
+        ("emc", emc_json(emc)),
+        ("seed", u(*seed)),
+        ("ideal_dependent_hits", b(*ideal_dependent_hits)),
+        ("faults", faults_json(faults)),
+    ])
+}
+
+fn core_json(c: &CoreConfig) -> JsonValue {
+    let CoreConfig {
+        fetch_width,
+        issue_width,
+        retire_width,
+        rob_entries,
+        rs_entries,
+        lsq_entries,
+        mispredict_penalty,
+        bp_table_entries,
+        runahead,
+    } = c;
+    JsonValue::obj(vec![
+        ("fetch_width", u(*fetch_width as u64)),
+        ("issue_width", u(*issue_width as u64)),
+        ("retire_width", u(*retire_width as u64)),
+        ("rob_entries", u(*rob_entries as u64)),
+        ("rs_entries", u(*rs_entries as u64)),
+        ("lsq_entries", u(*lsq_entries as u64)),
+        ("mispredict_penalty", u(*mispredict_penalty)),
+        ("bp_table_entries", u(*bp_table_entries as u64)),
+        ("runahead", b(*runahead)),
+    ])
+}
+
+fn cache_json(c: &CacheConfig) -> JsonValue {
+    let CacheConfig {
+        bytes,
+        ways,
+        latency,
+        mshrs,
+    } = c;
+    JsonValue::obj(vec![
+        ("bytes", u(*bytes)),
+        ("ways", u(*ways as u64)),
+        ("latency", u(*latency)),
+        ("mshrs", u(*mshrs as u64)),
+    ])
+}
+
+fn ring_json(r: &RingConfig) -> JsonValue {
+    let RingConfig {
+        link_cycles,
+        stop_cycles,
+    } = r;
+    JsonValue::obj(vec![
+        ("link_cycles", u(*link_cycles)),
+        ("stop_cycles", u(*stop_cycles)),
+    ])
+}
+
+fn dram_json(d: &DramConfig) -> JsonValue {
+    let DramConfig {
+        channels,
+        ranks_per_channel,
+        banks_per_rank,
+        row_bytes,
+        t_cas,
+        t_rcd,
+        t_rp,
+        t_ras,
+        t_burst,
+        queue_entries,
+    } = d;
+    JsonValue::obj(vec![
+        ("channels", u(*channels as u64)),
+        ("ranks_per_channel", u(*ranks_per_channel as u64)),
+        ("banks_per_rank", u(*banks_per_rank as u64)),
+        ("row_bytes", u(*row_bytes)),
+        ("t_cas", u(*t_cas)),
+        ("t_rcd", u(*t_rcd)),
+        ("t_rp", u(*t_rp)),
+        ("t_ras", u(*t_ras)),
+        ("t_burst", u(*t_burst)),
+        ("queue_entries", u(*queue_entries as u64)),
+    ])
+}
+
+fn prefetch_json(p: &PrefetchConfig) -> JsonValue {
+    let PrefetchConfig {
+        stream_count,
+        stream_distance,
+        markov_entries,
+        markov_fanout,
+        ghb_entries,
+        ghb_index_entries,
+        fdp_min_degree,
+        fdp_max_degree,
+        fdp_high_accuracy,
+        fdp_low_accuracy,
+        fdp_interval,
+    } = p;
+    JsonValue::obj(vec![
+        ("stream_count", u(*stream_count as u64)),
+        ("stream_distance", u(*stream_distance)),
+        ("markov_entries", u(*markov_entries as u64)),
+        ("markov_fanout", u(*markov_fanout as u64)),
+        ("ghb_entries", u(*ghb_entries as u64)),
+        ("ghb_index_entries", u(*ghb_index_entries as u64)),
+        ("fdp_min_degree", u(*fdp_min_degree as u64)),
+        ("fdp_max_degree", u(*fdp_max_degree as u64)),
+        ("fdp_high_accuracy", f(*fdp_high_accuracy)),
+        ("fdp_low_accuracy", f(*fdp_low_accuracy)),
+        ("fdp_interval", u(*fdp_interval)),
+    ])
+}
+
+fn emc_json(e: &EmcConfig) -> JsonValue {
+    let EmcConfig {
+        enabled,
+        contexts,
+        uop_buffer,
+        prf_entries,
+        live_in_entries,
+        lsq_entries,
+        rs_entries,
+        issue_width,
+        tlb_entries,
+        dcache_bytes,
+        dcache_ways,
+        dcache_latency,
+        miss_pred_entries,
+        miss_pred_threshold,
+        dep_counter_trigger,
+        chain_candidates,
+        quiesce_threshold,
+        quiesce_backoff,
+        quiesce_backoff_max,
+    } = e;
+    JsonValue::obj(vec![
+        ("enabled", b(*enabled)),
+        ("contexts", u(*contexts as u64)),
+        ("uop_buffer", u(*uop_buffer as u64)),
+        ("prf_entries", u(*prf_entries as u64)),
+        ("live_in_entries", u(*live_in_entries as u64)),
+        ("lsq_entries", u(*lsq_entries as u64)),
+        ("rs_entries", u(*rs_entries as u64)),
+        ("issue_width", u(*issue_width as u64)),
+        ("tlb_entries", u(*tlb_entries as u64)),
+        ("dcache_bytes", u(*dcache_bytes)),
+        ("dcache_ways", u(*dcache_ways as u64)),
+        ("dcache_latency", u(*dcache_latency)),
+        ("miss_pred_entries", u(*miss_pred_entries as u64)),
+        ("miss_pred_threshold", u(*miss_pred_threshold as u64)),
+        ("dep_counter_trigger", u(*dep_counter_trigger as u64)),
+        ("chain_candidates", u(*chain_candidates as u64)),
+        ("quiesce_threshold", u(*quiesce_threshold as u64)),
+        ("quiesce_backoff", u(*quiesce_backoff)),
+        ("quiesce_backoff_max", u(*quiesce_backoff_max)),
+    ])
+}
+
+fn faults_json(p: &FaultPlan) -> JsonValue {
+    let FaultPlan {
+        enabled,
+        ring_delay_prob,
+        ring_delay_cycles,
+        dram_reissue_prob,
+        dram_reissue_penalty,
+        emc_kill_prob,
+        mc_storm_prob,
+        mc_storm_cycles,
+    } = p;
+    JsonValue::obj(vec![
+        ("enabled", b(*enabled)),
+        ("ring_delay_prob", f(*ring_delay_prob)),
+        ("ring_delay_cycles", u(*ring_delay_cycles)),
+        ("dram_reissue_prob", f(*dram_reissue_prob)),
+        ("dram_reissue_penalty", u(*dram_reissue_penalty)),
+        ("emc_kill_prob", f(*emc_kill_prob)),
+        ("mc_storm_prob", f(*mc_storm_prob)),
+        ("mc_storm_cycles", u(*mc_storm_cycles)),
+    ])
+}
+
+/// Look up a [`Benchmark`] by its printed name (inverse of
+/// [`Benchmark::name`]), used when decoding cached spec echoes.
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    Benchmark::all().into_iter().find(|b| b.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::mix(
+            "H1",
+            emc_workloads::mix_by_name("H1").unwrap(),
+            SystemConfig::quad_core(),
+            30_000,
+        )
+    }
+
+    #[test]
+    fn key_is_stable_and_label_independent() {
+        let a = spec();
+        let b = spec().with_label("renamed");
+        assert_eq!(a.key(), b.key(), "label is presentation, not identity");
+        assert_eq!(a.key().to_string().len(), 32);
+    }
+
+    #[test]
+    fn key_separates_budget_seed_config_and_workload() {
+        let base = spec();
+        let mut budget = spec();
+        budget.budget += 1;
+        let mut seed = spec();
+        seed.cfg.seed ^= 1;
+        let mut cfgd = spec();
+        cfgd.cfg.emc.enabled = false;
+        let mut wl = spec();
+        wl.benches[0] = Benchmark::Lbm;
+        for (what, s) in [
+            ("budget", &budget),
+            ("seed", &seed),
+            ("config", &cfgd),
+            ("workload", &wl),
+        ] {
+            assert_ne!(base.key(), s.key(), "{what} must change the key");
+        }
+    }
+
+    #[test]
+    fn homog_and_mix8_constructors() {
+        let h = JobSpec::homog(Benchmark::Mcf, SystemConfig::quad_core(), 100);
+        assert_eq!(h.label, "mcfx4");
+        assert_eq!(h.benches.len(), 4);
+        let m8 = JobSpec::mix8(
+            "H1",
+            emc_workloads::mix_by_name("H1").unwrap(),
+            SystemConfig::eight_core_1mc(),
+            100,
+        );
+        assert_eq!(m8.benches.len(), 8);
+        assert_eq!(m8.benches[0], m8.benches[4]);
+        assert_ne!(h.key(), m8.key());
+    }
+
+    #[test]
+    fn canonical_json_parses_and_names_fingerprint() {
+        let doc = spec().canonical_json();
+        let text = doc.to_json();
+        let back = JsonValue::parse(&text).expect("canonical encoding is valid JSON");
+        assert_eq!(
+            back.get("fingerprint").and_then(|v| v.as_str()),
+            Some(code_fingerprint().as_str())
+        );
+        assert!(back.get("config").and_then(|c| c.get("emc")).is_some());
+    }
+
+    #[test]
+    fn u64_above_double_grid_encodes_as_string() {
+        assert_eq!(u(42), JsonValue::Num(42.0));
+        assert_eq!(u(u64::MAX), JsonValue::Str(u64::MAX.to_string()));
+    }
+
+    #[test]
+    fn benchmark_round_trips_by_name() {
+        for bench in Benchmark::all() {
+            assert_eq!(benchmark_by_name(bench.name()), Some(bench));
+        }
+        assert_eq!(benchmark_by_name("notabench"), None);
+    }
+}

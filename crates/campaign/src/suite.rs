@@ -1,0 +1,96 @@
+//! Standard job suites: the paper's evaluation grids as [`JobSpec`]
+//! lists.
+//!
+//! These are the job lists behind both the `campaign` CLI and the
+//! `figures` harness, so a `campaign run quad` pre-populates exactly the
+//! cache entries `figures fig12` will look up.
+
+use emc_types::{PrefetcherKind, SystemConfig};
+use emc_workloads::{Benchmark, QUAD_MIXES};
+
+use crate::spec::JobSpec;
+
+/// The eight (prefetcher × EMC) configurations of Figures 12–14.
+pub fn config_grid(base: SystemConfig) -> Vec<SystemConfig> {
+    let mut v = Vec::new();
+    for pf in PrefetcherKind::ALL {
+        for emc in [false, true] {
+            let mut c = base.clone().with_prefetcher(pf);
+            c.emc.enabled = emc;
+            v.push(c);
+        }
+    }
+    v
+}
+
+/// H1–H10 × the 8-config grid on the quad-core system (80 jobs): the
+/// input to Figures 12, 15–19 and 21–23.
+pub fn quad_jobs(budget: u64) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (name, mix) in QUAD_MIXES {
+        for cfg in config_grid(SystemConfig::quad_core()) {
+            jobs.push(JobSpec::mix(name, mix, cfg, budget));
+        }
+    }
+    jobs
+}
+
+/// High-intensity homogeneous workloads × the 8-config grid (64 jobs):
+/// the input to Figures 13 and 24.
+pub fn homog_jobs(budget: u64) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for b in Benchmark::HIGH_INTENSITY {
+        for cfg in config_grid(SystemConfig::quad_core()) {
+            jobs.push(JobSpec::homog(b, cfg, budget));
+        }
+    }
+    jobs
+}
+
+/// H1–H10 (doubled to eight cores) × the 8-config grid on `base`
+/// (80 jobs): the input to Figure 14, for
+/// [`SystemConfig::eight_core_1mc`] or [`SystemConfig::eight_core_2mc`].
+pub fn mix8_jobs(base: SystemConfig, budget: u64) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (name, mix) in QUAD_MIXES {
+        for cfg in config_grid(base.clone()) {
+            jobs.push(JobSpec::mix8(name, mix, cfg, budget));
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grid_has_eight_distinct_configs() {
+        let g = config_grid(SystemConfig::quad_core());
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.iter().filter(|c| c.emc.enabled).count(), 4);
+        let labels: HashSet<_> = g.iter().map(|c| c.prefetcher.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn suites_have_expected_sizes_and_unique_keys() {
+        for (jobs, n) in [
+            (quad_jobs(1000), 80),
+            (homog_jobs(1000), 64),
+            (mix8_jobs(SystemConfig::eight_core_1mc(), 1000), 80),
+        ] {
+            assert_eq!(jobs.len(), n);
+            let keys: HashSet<_> = jobs.iter().map(|j| j.key().0).collect();
+            assert_eq!(keys.len(), n, "every job in a suite is distinct");
+        }
+    }
+
+    #[test]
+    fn mc_count_separates_mix8_suites() {
+        let a = mix8_jobs(SystemConfig::eight_core_1mc(), 1000);
+        let b = mix8_jobs(SystemConfig::eight_core_2mc(), 1000);
+        assert_ne!(a[0].key(), b[0].key());
+    }
+}

@@ -88,6 +88,43 @@ impl JsonValue {
         out
     }
 
+    /// Render as indented (2-space) JSON text.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -179,6 +216,104 @@ impl From<bool> for JsonValue {
         JsonValue::Bool(v)
     }
 }
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Conversion into a [`JsonValue`] tree, for arbitrary report shapes.
+///
+/// Implemented for the primitives, strings, `Option`, `Vec`, arrays,
+/// and tuples up to arity 9, so figure harnesses can hand their row
+/// tuples straight to a JSON sidecar writer. Tuples encode as arrays.
+pub trait ToJson {
+    /// Build the JSON tree for this value.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::from(self.clone())
+            }
+        }
+    )*};
+}
+
+to_json_via_from!(u64, usize, f64, bool, String);
+
+impl ToJson for u32 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Num(f64::from(*self))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+macro_rules! to_json_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Arr(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    };
+}
+
+to_json_tuple!(A: 0, B: 1);
+to_json_tuple!(A: 0, B: 1, C: 2);
+to_json_tuple!(A: 0, B: 1, C: 2, D: 3);
+to_json_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+to_json_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+to_json_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+to_json_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+to_json_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
 
 /// Escape and quote a string per RFC 8259.
 fn write_escaped(out: &mut String, s: &str) {
@@ -437,5 +572,47 @@ mod tests {
     fn non_finite_numbers_serialize_as_null() {
         assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
         assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn to_json_covers_tuples_vecs_arrays_and_options() {
+        let rows = vec![("mcf", 1.5f64, [2u64, 3]), ("lbm", 0.25, [0, 9])];
+        let v = rows.to_json_value();
+        assert_eq!(v.to_json(), r#"[["mcf",1.5,[2,3]],["lbm",0.25,[0,9]]]"#);
+
+        let nested: (String, Vec<(String, f64)>) = ("H1".into(), vec![("GHB".into(), 1.125)]);
+        assert_eq!(
+            nested.to_json_value().to_json(),
+            r#"["H1",[["GHB",1.125]]]"#
+        );
+
+        assert_eq!(Some(3.5f64).to_json_value(), JsonValue::Num(3.5));
+        assert_eq!(None::<f64>.to_json_value(), JsonValue::Null);
+        assert_eq!(
+            <&bool as ToJson>::to_json_value(&&true),
+            JsonValue::Bool(true)
+        );
+        let nine = ("a", 1f64, 2f64, 3u64, 4u64, 5u64, 6u64, 7u64, 8u64);
+        assert_eq!(nine.to_json_value().to_json(), r#"["a",1,2,3,4,5,6,7,8]"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses_equal() {
+        let doc = JsonValue::obj(vec![
+            ("a", JsonValue::nums([1, 2])),
+            ("b", JsonValue::obj(vec![("c", JsonValue::Null)])),
+            ("empty_arr", JsonValue::Arr(vec![])),
+            ("empty_obj", JsonValue::Obj(vec![])),
+        ]);
+        let pretty = doc.to_json_pretty();
+        assert!(
+            pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"),
+            "{pretty}"
+        );
+        assert!(
+            pretty.contains("\"empty_arr\": []"),
+            "empties stay inline: {pretty}"
+        );
+        assert_eq!(JsonValue::parse(&pretty).unwrap(), doc);
     }
 }

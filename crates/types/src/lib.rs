@@ -42,7 +42,7 @@ pub use config::{
     RingConfig, SystemConfig,
 };
 pub use hist::{Histogram, HISTOGRAM_BUCKETS};
-pub use json::JsonValue;
+pub use json::{JsonValue, ToJson};
 pub use mem_image::MemoryImage;
 pub use outcome::{RunOutcome, RunReport, WedgeCoreState, WedgeEmcContext, WedgeReport};
 pub use program::{Program, StaticUop};

@@ -10,6 +10,8 @@
 //! - [`emc_workloads`] — synthetic SPEC CPU2006-like workloads.
 //! - [`emc_types`] — configuration ([`SystemConfig`]) and statistics.
 //! - [`emc_energy`] — the McPAT/CACTI-style energy model.
+//! - [`emc_campaign`] — deterministic experiment orchestration with a
+//!   content-addressed result cache and resumable manifests.
 //!
 //! # Quickstart
 //!
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use emc_campaign;
 pub use emc_core;
 pub use emc_cpu;
 pub use emc_energy;

@@ -1,0 +1,148 @@
+//! End-to-end campaign acceptance tests (ISSUE: campaign engine).
+//!
+//! Drives the full stack — workload synthesis, the cycle simulator, the
+//! energy model, and the campaign engine — through the public meta-crate
+//! surface, and asserts the two cache guarantees the figure harnesses
+//! rely on: an identical re-run is 100% cache hits with byte-identical
+//! entries on disk, and an interrupted campaign resumes without
+//! re-executing completed jobs.
+
+use emc_repro::emc_campaign::{Campaign, CampaignOptions, Manifest, ResultCache};
+use emc_repro::emc_campaign::{JobSpec, DEFAULT_CACHE_DIR};
+use emc_repro::{Benchmark, SystemConfig};
+use std::path::PathBuf;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("emc-campaign-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Four distinct real jobs at a tiny budget: two workloads, with and
+/// without the EMC.
+fn jobs() -> Vec<JobSpec> {
+    let emc = SystemConfig::quad_core();
+    let mut no_emc = SystemConfig::quad_core();
+    no_emc.emc.enabled = false;
+    vec![
+        JobSpec::homog(Benchmark::Mcf, emc.clone(), 600),
+        JobSpec::homog(Benchmark::Mcf, no_emc.clone(), 600),
+        JobSpec::homog(Benchmark::Libquantum, emc, 600),
+        JobSpec::homog(Benchmark::Libquantum, no_emc, 600),
+    ]
+}
+
+fn quiet(root: &PathBuf) -> CampaignOptions {
+    CampaignOptions::quiet(Some(ResultCache::new(root)))
+}
+
+#[test]
+fn repeat_campaign_is_all_hits_with_byte_identical_entries() {
+    let root = tmp_root("repeat");
+    let campaign = Campaign::new("it-repeat", jobs());
+
+    let cold = campaign.run(&quiet(&root));
+    assert_eq!(cold.executed(), 4);
+    assert_eq!(cold.hits(), 0);
+    let cold_results = cold.expect_completed();
+
+    // Snapshot every cache entry byte-for-byte.
+    let cache = ResultCache::new(&root);
+    let snapshot: Vec<(PathBuf, Vec<u8>)> = campaign
+        .jobs
+        .iter()
+        .map(|j| {
+            let p = cache.path_of(&j.key());
+            let bytes = std::fs::read(&p).expect("entry exists after cold run");
+            (p, bytes)
+        })
+        .collect();
+
+    let warm = campaign.run(&quiet(&root));
+    assert_eq!(warm.hits(), 4, "identical re-run must be 100% cache hits");
+    assert_eq!(warm.executed(), 0);
+    assert!(warm.hit_rate() >= 0.9, "acceptance floor");
+
+    // The warm run reproduced the cold statistics and left every entry
+    // untouched on disk.
+    for (a, b) in cold_results.iter().zip(&warm.expect_completed()) {
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.ipcs, b.ipcs);
+        assert_eq!(a.energy.total_j(), b.energy.total_j());
+    }
+    for (p, before) in &snapshot {
+        assert_eq!(
+            &std::fs::read(p).unwrap(),
+            before,
+            "{} changed",
+            p.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn interrupted_campaign_resumes_from_manifest() {
+    let root = tmp_root("resume");
+    let campaign = Campaign::new("it-resume", jobs());
+
+    // Interrupt after two fresh runs.
+    let first = campaign.run(&CampaignOptions {
+        max_fresh_runs: Some(2),
+        ..quiet(&root)
+    });
+    assert_eq!(first.executed(), 2);
+    assert_eq!(first.deferred(), 2);
+    let m = Manifest::load(&root, "it-resume").expect("manifest journaled");
+    assert_eq!(
+        m.done_count(),
+        2,
+        "completed jobs journaled before interrupt"
+    );
+
+    // Resume: completed jobs come from the cache, only the rest execute.
+    let second = campaign.run(&quiet(&root));
+    assert_eq!(second.hits(), 2, "completed jobs must not re-execute");
+    assert_eq!(second.executed(), 2);
+    second.expect_completed();
+    assert_eq!(
+        Manifest::load(&root, "it-resume").unwrap().done_count(),
+        4,
+        "manifest records the whole campaign done"
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn relabeled_and_reordered_specs_still_hit() {
+    // Cross-figure dedup: fig1/fig6/tab2 request the same baseline jobs
+    // under different labels and orders — all must be cache hits.
+    let root = tmp_root("dedup");
+    let first = Campaign::new("it-dedup-a", jobs());
+    first.run(&quiet(&root)).expect_completed();
+
+    let mut renamed = jobs();
+    renamed.reverse();
+    let relabeled: Vec<JobSpec> = renamed
+        .into_iter()
+        .enumerate()
+        .map(|(i, j)| j.with_label(format!("other-figure-{i}")))
+        .collect();
+    let second = Campaign::new("it-dedup-b", relabeled).run(&quiet(&root));
+    assert_eq!(second.hits(), 4, "labels and order are not identity");
+    for (i, r) in second.records.iter().enumerate() {
+        let result = r.result.as_ref().expect("hit");
+        assert_eq!(
+            result.workload,
+            format!("other-figure-{i}"),
+            "label rewritten"
+        );
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn default_cache_dir_is_results_cache() {
+    // EXPERIMENTS.md documents this layout; keep the constant honest.
+    assert_eq!(DEFAULT_CACHE_DIR, "results/cache");
+}
