@@ -5,478 +5,25 @@
 //! it. That requires an exact round-trip of [`RunResult`] (statistics,
 //! histograms, energy breakdown) through the on-disk format, with no
 //! external JSON crate on the runtime path (matching the metrics
-//! exporters in `emc-sim`). Floats use Rust's shortest round-trip
-//! formatting (exact by construction); `u64` counters above 2^53 are
-//! carried as strings (see [`crate::spec::u`]).
+//! exporters in `emc-sim`).
 //!
-//! Every encoder destructures its struct without `..`, so adding a
-//! statistics field without extending the codec is a compile error, not
-//! a silently lossy cache.
+//! The statistics and histogram codecs live in [`emc_types::codec`]
+//! (the canonical encoding shared with config hashing and the exporter
+//! tests) and are re-exported here unchanged; this module adds only
+//! the campaign-specific layers — the energy breakdown and the full
+//! [`RunResult`] envelope. Every encoder destructures its struct
+//! without `..`, so adding a field without extending the codec is a
+//! compile error, not a silently lossy cache.
 
 use emc_energy::EnergyBreakdown;
-use emc_types::{
-    CoreStats, EmcStats, Histogram, JsonValue, MemStats, PrefetchStats, RingStats, Stats,
+use emc_types::codec::{get, get_bool, get_f64, get_str};
+use emc_types::JsonValue;
+
+pub use emc_types::codec::{
+    histogram_from_json, histogram_to_json, stats_from_json, stats_to_json,
 };
 
-use crate::spec::{u, RunResult};
-
-// ---------------------------------------------------------------------
-// Decode helpers
-// ---------------------------------------------------------------------
-
-fn get<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
-    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
-}
-
-fn dec_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
-    match v {
-        JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
-            Ok(*n as u64)
-        }
-        JsonValue::Str(s) => s
-            .parse()
-            .map_err(|_| format!("{key}: bad u64 string {s:?}")),
-        other => Err(format!("{key}: expected u64, got {other:?}")),
-    }
-}
-
-fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, String> {
-    dec_u64(get(obj, key)?, key)
-}
-
-fn get_f64(obj: &JsonValue, key: &str) -> Result<f64, String> {
-    get(obj, key)?
-        .as_f64()
-        .ok_or_else(|| format!("{key}: expected number"))
-}
-
-fn get_bool(obj: &JsonValue, key: &str) -> Result<bool, String> {
-    match get(obj, key)? {
-        JsonValue::Bool(b) => Ok(*b),
-        _ => Err(format!("{key}: expected bool")),
-    }
-}
-
-fn get_str<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a str, String> {
-    get(obj, key)?
-        .as_str()
-        .ok_or_else(|| format!("{key}: expected string"))
-}
-
-fn get_u64_vec(obj: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
-    get(obj, key)?
-        .as_arr()
-        .ok_or_else(|| format!("{key}: expected array"))?
-        .iter()
-        .map(|v| dec_u64(v, key))
-        .collect()
-}
-
-// ---------------------------------------------------------------------
-// Histogram
-// ---------------------------------------------------------------------
-
-/// Encode a [`Histogram`] (count/sum/min/max plus the sparse-or-empty
-/// bucket vector).
-pub fn histogram_to_json(h: &Histogram) -> JsonValue {
-    let Histogram {
-        count,
-        sum,
-        min,
-        max,
-        buckets,
-    } = h;
-    JsonValue::obj(vec![
-        ("count", u(*count)),
-        ("sum", u(*sum)),
-        ("min", u(*min)),
-        ("max", u(*max)),
-        (
-            "buckets",
-            JsonValue::Arr(buckets.iter().map(|&n| u(n)).collect()),
-        ),
-    ])
-}
-
-/// Decode a [`Histogram`].
-pub fn histogram_from_json(v: &JsonValue) -> Result<Histogram, String> {
-    Ok(Histogram {
-        count: get_u64(v, "count")?,
-        sum: get_u64(v, "sum")?,
-        min: get_u64(v, "min")?,
-        max: get_u64(v, "max")?,
-        buckets: get_u64_vec(v, "buckets")?,
-    })
-}
-
-fn get_hist(obj: &JsonValue, key: &str) -> Result<Histogram, String> {
-    histogram_from_json(get(obj, key)?).map_err(|e| format!("{key}.{e}"))
-}
-
-// ---------------------------------------------------------------------
-// Statistics
-// ---------------------------------------------------------------------
-
-fn core_stats_to_json(c: &CoreStats) -> JsonValue {
-    let CoreStats {
-        cycles,
-        retired_uops,
-        retired_loads,
-        retired_stores,
-        retired_branches,
-        branch_mispredicts,
-        l1d_accesses,
-        l1d_misses,
-        llc_accesses,
-        llc_misses,
-        dependent_llc_misses,
-        dependent_misses_prefetched,
-        dep_chain_uop_sum,
-        dep_chain_pairs,
-        full_window_stall_cycles,
-        chains_sent,
-        chain_uops_sent,
-        chain_live_ins,
-        chain_live_outs,
-        chains_aborted_branch,
-        chains_aborted_tlb,
-        chains_cancelled_disambiguation,
-        chains_aborted_injected,
-        emc_quiesce_events,
-        prefetch_covered_misses,
-        runahead_entries,
-        runahead_uops,
-        runahead_requests,
-        chain_length_hist,
-        stall_episodes,
-    } = c;
-    JsonValue::obj(vec![
-        ("cycles", u(*cycles)),
-        ("retired_uops", u(*retired_uops)),
-        ("retired_loads", u(*retired_loads)),
-        ("retired_stores", u(*retired_stores)),
-        ("retired_branches", u(*retired_branches)),
-        ("branch_mispredicts", u(*branch_mispredicts)),
-        ("l1d_accesses", u(*l1d_accesses)),
-        ("l1d_misses", u(*l1d_misses)),
-        ("llc_accesses", u(*llc_accesses)),
-        ("llc_misses", u(*llc_misses)),
-        ("dependent_llc_misses", u(*dependent_llc_misses)),
-        (
-            "dependent_misses_prefetched",
-            u(*dependent_misses_prefetched),
-        ),
-        ("dep_chain_uop_sum", u(*dep_chain_uop_sum)),
-        ("dep_chain_pairs", u(*dep_chain_pairs)),
-        ("full_window_stall_cycles", u(*full_window_stall_cycles)),
-        ("chains_sent", u(*chains_sent)),
-        ("chain_uops_sent", u(*chain_uops_sent)),
-        ("chain_live_ins", u(*chain_live_ins)),
-        ("chain_live_outs", u(*chain_live_outs)),
-        ("chains_aborted_branch", u(*chains_aborted_branch)),
-        ("chains_aborted_tlb", u(*chains_aborted_tlb)),
-        (
-            "chains_cancelled_disambiguation",
-            u(*chains_cancelled_disambiguation),
-        ),
-        ("chains_aborted_injected", u(*chains_aborted_injected)),
-        ("emc_quiesce_events", u(*emc_quiesce_events)),
-        ("prefetch_covered_misses", u(*prefetch_covered_misses)),
-        ("runahead_entries", u(*runahead_entries)),
-        ("runahead_uops", u(*runahead_uops)),
-        ("runahead_requests", u(*runahead_requests)),
-        (
-            "chain_length_hist",
-            JsonValue::Arr(chain_length_hist.iter().map(|&n| u(n)).collect()),
-        ),
-        ("stall_episodes", histogram_to_json(stall_episodes)),
-    ])
-}
-
-fn core_stats_from_json(v: &JsonValue) -> Result<CoreStats, String> {
-    Ok(CoreStats {
-        cycles: get_u64(v, "cycles")?,
-        retired_uops: get_u64(v, "retired_uops")?,
-        retired_loads: get_u64(v, "retired_loads")?,
-        retired_stores: get_u64(v, "retired_stores")?,
-        retired_branches: get_u64(v, "retired_branches")?,
-        branch_mispredicts: get_u64(v, "branch_mispredicts")?,
-        l1d_accesses: get_u64(v, "l1d_accesses")?,
-        l1d_misses: get_u64(v, "l1d_misses")?,
-        llc_accesses: get_u64(v, "llc_accesses")?,
-        llc_misses: get_u64(v, "llc_misses")?,
-        dependent_llc_misses: get_u64(v, "dependent_llc_misses")?,
-        dependent_misses_prefetched: get_u64(v, "dependent_misses_prefetched")?,
-        dep_chain_uop_sum: get_u64(v, "dep_chain_uop_sum")?,
-        dep_chain_pairs: get_u64(v, "dep_chain_pairs")?,
-        full_window_stall_cycles: get_u64(v, "full_window_stall_cycles")?,
-        chains_sent: get_u64(v, "chains_sent")?,
-        chain_uops_sent: get_u64(v, "chain_uops_sent")?,
-        chain_live_ins: get_u64(v, "chain_live_ins")?,
-        chain_live_outs: get_u64(v, "chain_live_outs")?,
-        chains_aborted_branch: get_u64(v, "chains_aborted_branch")?,
-        chains_aborted_tlb: get_u64(v, "chains_aborted_tlb")?,
-        chains_cancelled_disambiguation: get_u64(v, "chains_cancelled_disambiguation")?,
-        chains_aborted_injected: get_u64(v, "chains_aborted_injected")?,
-        emc_quiesce_events: get_u64(v, "emc_quiesce_events")?,
-        prefetch_covered_misses: get_u64(v, "prefetch_covered_misses")?,
-        runahead_entries: get_u64(v, "runahead_entries")?,
-        runahead_uops: get_u64(v, "runahead_uops")?,
-        runahead_requests: get_u64(v, "runahead_requests")?,
-        chain_length_hist: get_u64_vec(v, "chain_length_hist")?,
-        stall_episodes: get_hist(v, "stall_episodes")?,
-    })
-}
-
-fn mem_stats_to_json(m: &MemStats) -> JsonValue {
-    let MemStats {
-        dram_reads,
-        dram_writes,
-        dram_prefetches,
-        row_hits,
-        row_conflicts,
-        row_empties,
-        activates,
-        precharges,
-        core_miss_latency,
-        emc_miss_latency,
-        core_ring_component,
-        core_cache_component,
-        core_queue_component,
-        emc_ring_component,
-        emc_cache_component,
-        emc_queue_component,
-        dram_service_latency,
-        on_chip_delay,
-        ecc_reissues,
-        backpressure_storms,
-    } = m;
-    JsonValue::obj(vec![
-        ("dram_reads", u(*dram_reads)),
-        ("dram_writes", u(*dram_writes)),
-        ("dram_prefetches", u(*dram_prefetches)),
-        ("row_hits", u(*row_hits)),
-        ("row_conflicts", u(*row_conflicts)),
-        ("row_empties", u(*row_empties)),
-        ("activates", u(*activates)),
-        ("precharges", u(*precharges)),
-        ("core_miss_latency", histogram_to_json(core_miss_latency)),
-        ("emc_miss_latency", histogram_to_json(emc_miss_latency)),
-        (
-            "core_ring_component",
-            histogram_to_json(core_ring_component),
-        ),
-        (
-            "core_cache_component",
-            histogram_to_json(core_cache_component),
-        ),
-        (
-            "core_queue_component",
-            histogram_to_json(core_queue_component),
-        ),
-        ("emc_ring_component", histogram_to_json(emc_ring_component)),
-        (
-            "emc_cache_component",
-            histogram_to_json(emc_cache_component),
-        ),
-        (
-            "emc_queue_component",
-            histogram_to_json(emc_queue_component),
-        ),
-        (
-            "dram_service_latency",
-            histogram_to_json(dram_service_latency),
-        ),
-        ("on_chip_delay", histogram_to_json(on_chip_delay)),
-        ("ecc_reissues", u(*ecc_reissues)),
-        ("backpressure_storms", u(*backpressure_storms)),
-    ])
-}
-
-fn mem_stats_from_json(v: &JsonValue) -> Result<MemStats, String> {
-    Ok(MemStats {
-        dram_reads: get_u64(v, "dram_reads")?,
-        dram_writes: get_u64(v, "dram_writes")?,
-        dram_prefetches: get_u64(v, "dram_prefetches")?,
-        row_hits: get_u64(v, "row_hits")?,
-        row_conflicts: get_u64(v, "row_conflicts")?,
-        row_empties: get_u64(v, "row_empties")?,
-        activates: get_u64(v, "activates")?,
-        precharges: get_u64(v, "precharges")?,
-        core_miss_latency: get_hist(v, "core_miss_latency")?,
-        emc_miss_latency: get_hist(v, "emc_miss_latency")?,
-        core_ring_component: get_hist(v, "core_ring_component")?,
-        core_cache_component: get_hist(v, "core_cache_component")?,
-        core_queue_component: get_hist(v, "core_queue_component")?,
-        emc_ring_component: get_hist(v, "emc_ring_component")?,
-        emc_cache_component: get_hist(v, "emc_cache_component")?,
-        emc_queue_component: get_hist(v, "emc_queue_component")?,
-        dram_service_latency: get_hist(v, "dram_service_latency")?,
-        on_chip_delay: get_hist(v, "on_chip_delay")?,
-        ecc_reissues: get_u64(v, "ecc_reissues")?,
-        backpressure_storms: get_u64(v, "backpressure_storms")?,
-    })
-}
-
-fn ring_stats_to_json(r: &RingStats) -> JsonValue {
-    let RingStats {
-        control_msgs,
-        data_msgs,
-        emc_control_msgs,
-        emc_data_msgs,
-        total_hops,
-        injected_delays,
-    } = r;
-    JsonValue::obj(vec![
-        ("control_msgs", u(*control_msgs)),
-        ("data_msgs", u(*data_msgs)),
-        ("emc_control_msgs", u(*emc_control_msgs)),
-        ("emc_data_msgs", u(*emc_data_msgs)),
-        ("total_hops", u(*total_hops)),
-        ("injected_delays", u(*injected_delays)),
-    ])
-}
-
-fn ring_stats_from_json(v: &JsonValue) -> Result<RingStats, String> {
-    Ok(RingStats {
-        control_msgs: get_u64(v, "control_msgs")?,
-        data_msgs: get_u64(v, "data_msgs")?,
-        emc_control_msgs: get_u64(v, "emc_control_msgs")?,
-        emc_data_msgs: get_u64(v, "emc_data_msgs")?,
-        total_hops: get_u64(v, "total_hops")?,
-        injected_delays: get_u64(v, "injected_delays")?,
-    })
-}
-
-fn emc_stats_to_json(e: &EmcStats) -> JsonValue {
-    let EmcStats {
-        chains_executed,
-        uops_executed,
-        loads_executed,
-        stores_executed,
-        dcache_accesses,
-        dcache_hits,
-        direct_to_dram,
-        llc_lookups,
-        llc_misses_generated,
-        tlb_hits,
-        tlb_misses,
-        chains_rejected_busy,
-        branch_mispredicts_detected,
-        requests_covered_by_prefetch,
-        chain_latency,
-    } = e;
-    JsonValue::obj(vec![
-        ("chains_executed", u(*chains_executed)),
-        ("uops_executed", u(*uops_executed)),
-        ("loads_executed", u(*loads_executed)),
-        ("stores_executed", u(*stores_executed)),
-        ("dcache_accesses", u(*dcache_accesses)),
-        ("dcache_hits", u(*dcache_hits)),
-        ("direct_to_dram", u(*direct_to_dram)),
-        ("llc_lookups", u(*llc_lookups)),
-        ("llc_misses_generated", u(*llc_misses_generated)),
-        ("tlb_hits", u(*tlb_hits)),
-        ("tlb_misses", u(*tlb_misses)),
-        ("chains_rejected_busy", u(*chains_rejected_busy)),
-        (
-            "branch_mispredicts_detected",
-            u(*branch_mispredicts_detected),
-        ),
-        (
-            "requests_covered_by_prefetch",
-            u(*requests_covered_by_prefetch),
-        ),
-        ("chain_latency", histogram_to_json(chain_latency)),
-    ])
-}
-
-fn emc_stats_from_json(v: &JsonValue) -> Result<EmcStats, String> {
-    Ok(EmcStats {
-        chains_executed: get_u64(v, "chains_executed")?,
-        uops_executed: get_u64(v, "uops_executed")?,
-        loads_executed: get_u64(v, "loads_executed")?,
-        stores_executed: get_u64(v, "stores_executed")?,
-        dcache_accesses: get_u64(v, "dcache_accesses")?,
-        dcache_hits: get_u64(v, "dcache_hits")?,
-        direct_to_dram: get_u64(v, "direct_to_dram")?,
-        llc_lookups: get_u64(v, "llc_lookups")?,
-        llc_misses_generated: get_u64(v, "llc_misses_generated")?,
-        tlb_hits: get_u64(v, "tlb_hits")?,
-        tlb_misses: get_u64(v, "tlb_misses")?,
-        chains_rejected_busy: get_u64(v, "chains_rejected_busy")?,
-        branch_mispredicts_detected: get_u64(v, "branch_mispredicts_detected")?,
-        requests_covered_by_prefetch: get_u64(v, "requests_covered_by_prefetch")?,
-        chain_latency: get_hist(v, "chain_latency")?,
-    })
-}
-
-fn prefetch_stats_to_json(p: &PrefetchStats) -> JsonValue {
-    let PrefetchStats {
-        issued,
-        useful,
-        useless,
-        degree,
-    } = p;
-    JsonValue::obj(vec![
-        ("issued", u(*issued)),
-        ("useful", u(*useful)),
-        ("useless", u(*useless)),
-        ("degree", u(*degree)),
-    ])
-}
-
-fn prefetch_stats_from_json(v: &JsonValue) -> Result<PrefetchStats, String> {
-    Ok(PrefetchStats {
-        issued: get_u64(v, "issued")?,
-        useful: get_u64(v, "useful")?,
-        useless: get_u64(v, "useless")?,
-        degree: get_u64(v, "degree")?,
-    })
-}
-
-/// Encode full run statistics.
-pub fn stats_to_json(s: &Stats) -> JsonValue {
-    let Stats {
-        cycles,
-        cores,
-        mem,
-        ring,
-        emc,
-        prefetch,
-    } = s;
-    JsonValue::obj(vec![
-        ("cycles", u(*cycles)),
-        (
-            "cores",
-            JsonValue::Arr(cores.iter().map(core_stats_to_json).collect()),
-        ),
-        ("mem", mem_stats_to_json(mem)),
-        ("ring", ring_stats_to_json(ring)),
-        ("emc", emc_stats_to_json(emc)),
-        ("prefetch", prefetch_stats_to_json(prefetch)),
-    ])
-}
-
-/// Decode full run statistics.
-pub fn stats_from_json(v: &JsonValue) -> Result<Stats, String> {
-    let cores = get(v, "cores")?
-        .as_arr()
-        .ok_or("cores: expected array")?
-        .iter()
-        .enumerate()
-        .map(|(i, c)| core_stats_from_json(c).map_err(|e| format!("cores[{i}].{e}")))
-        .collect::<Result<_, _>>()?;
-    Ok(Stats {
-        cycles: get_u64(v, "cycles")?,
-        cores,
-        mem: mem_stats_from_json(get(v, "mem")?).map_err(|e| format!("mem.{e}"))?,
-        ring: ring_stats_from_json(get(v, "ring")?).map_err(|e| format!("ring.{e}"))?,
-        emc: emc_stats_from_json(get(v, "emc")?).map_err(|e| format!("emc.{e}"))?,
-        prefetch: prefetch_stats_from_json(get(v, "prefetch")?)
-            .map_err(|e| format!("prefetch.{e}"))?,
-    })
-}
+use crate::spec::RunResult;
 
 // ---------------------------------------------------------------------
 // Energy and the full result
@@ -568,7 +115,7 @@ impl emc_types::ToJson for RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emc_types::SystemConfig;
+    use emc_types::{Histogram, Stats, SystemConfig};
 
     fn busy_stats() -> Stats {
         let mut s = Stats::new(2);
@@ -577,11 +124,13 @@ mod tests {
         s.cores[0].llc_misses = 777;
         s.cores[0].record_chain_length(5);
         s.cores[0].stall_episodes.record(1024);
+        s.cores[0].chains_aborted_lease = 2;
         s.cores[1].cycles = 999;
         s.mem.dram_reads = 4242;
         s.mem.core_miss_latency.record(300);
         s.mem.core_miss_latency.record(9000);
         s.mem.emc_miss_latency.record(250);
+        s.mem.escalated_requests = 11;
         s.emc.chains_executed = 17;
         s.emc.chain_latency.record(512);
         s.prefetch.issued = 5;
@@ -618,7 +167,9 @@ mod tests {
         assert_eq!(back.stats.cycles, 1_234_567);
         assert_eq!(back.stats.mem.core_miss_latency.count, 2);
         assert_eq!(back.stats.mem.core_miss_latency.p99(), 9000);
+        assert_eq!(back.stats.mem.escalated_requests, 11);
         assert_eq!(back.stats.cores[0].chain_length_hist[5], 1);
+        assert_eq!(back.stats.cores[0].chains_aborted_lease, 2);
         assert_eq!(back.ipcs, vec![0.75, 0.5]);
     }
 

@@ -4,19 +4,23 @@
 //! A [`Campaign`] is a named, ordered list of [`JobSpec`]s. Running it
 //! walks every job through one policy: known-failed jobs are skipped
 //! (unless retries are requested), cached results are hits, everything
-//! else executes on the work-stealing pool with bounded retries for
-//! [`RunOutcome::Wedged`] and immediate structured failure for
-//! [`RunOutcome::CapHit`] (the simulator is deterministic — a cap hit
-//! repeats, so retrying it only burns time). Every completed job is
-//! stored in the cache and journaled in the manifest before the
-//! campaign moves on, so an interrupt loses at most the jobs still in
-//! flight.
+//! else executes on the work-stealing pool under the class-driven
+//! retry policy ([`retry_decision`]). A wedge whose [`WedgeClass`] is
+//! transient (starvation, backpressure, slow-but-live) gets bounded
+//! re-runs; a deterministic class (EMC context leak, core deadlock)
+//! fails immediately — the simulator is deterministic, so re-running it
+//! only burns time. A [`RunOutcome::CapHit`] whose liveness probes show
+//! the run still making progress is re-run exactly once under a 10×
+//! extended cycle cap; a cap hit with a deterministic root cause fails
+//! immediately. Every completed job is stored in the cache and
+//! journaled in the manifest before the campaign moves on, so an
+//! interrupt loses at most the jobs still in flight.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use emc_types::{Histogram, JsonValue, RunOutcome};
+use emc_types::{Histogram, JsonValue, RunOutcome, WedgeClass};
 
 use crate::cache::ResultCache;
 use crate::exec::parallel_map;
@@ -25,6 +29,65 @@ use crate::spec::{JobKey, JobSpec, RunResult};
 
 /// Schema tag stamped into campaign report JSON.
 pub const REPORT_SCHEMA: &str = "emc-campaign-report-v1";
+
+/// Cycle-cap multiplier for the one extended re-run a slow-but-live cap
+/// hit earns.
+pub const CAP_EXTENSION_FACTOR: u64 = 10;
+
+/// What the engine does after a non-`Completed` attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Run the job again as-is: the wedge's root cause is transient (or
+    /// predates classification) and the retry budget has room.
+    Retry,
+    /// Run once more under an extended cycle cap: the run hit the cap
+    /// while its liveness probes showed forward progress.
+    ExtendCap,
+    /// Record the failure: deterministic root cause, retry budget
+    /// spent, or the extended cap was already granted.
+    Fail,
+}
+
+/// The pure class-driven retry policy, separated from the execution
+/// loop so every (outcome, class) cell is unit-testable.
+///
+/// - [`RunOutcome::Wedged`] with a transient class — MC starvation,
+///   ring backpressure, slow-but-live — retries while `attempts <=
+///   wedge_retries`; an unclassified wedge (reports from before the
+///   classifier existed) is treated as transient. A deterministic class
+///   (EMC context leak, core deadlock) fails on the first attempt: the
+///   simulator is deterministic, so the re-run would wedge identically.
+/// - [`RunOutcome::CapHit`] whose class says the run was still live
+///   earns exactly one re-run under an extended cap; a cap hit that is
+///   itself deadlocked (or already extended) fails immediately.
+/// - [`RunOutcome::Completed`] never reaches this policy.
+pub fn retry_decision(
+    outcome: RunOutcome,
+    class: Option<&WedgeClass>,
+    attempts: u32,
+    wedge_retries: u32,
+    cap_extended: bool,
+) -> RetryDecision {
+    match outcome {
+        RunOutcome::Completed => RetryDecision::Fail,
+        RunOutcome::Wedged => {
+            let transient = class.is_none_or(WedgeClass::is_transient);
+            if transient && attempts <= wedge_retries {
+                RetryDecision::Retry
+            } else {
+                RetryDecision::Fail
+            }
+        }
+        RunOutcome::CapHit => {
+            let live = class.is_some_and(WedgeClass::is_transient);
+            if live && !cap_extended {
+                RetryDecision::ExtendCap
+            } else {
+                RetryDecision::Fail
+            }
+        }
+    }
+}
 
 /// Policy knobs for one campaign run.
 #[derive(Debug, Clone)]
@@ -363,48 +426,84 @@ impl Campaign {
             }
         }
 
-        // Execute, retrying wedges up to the bound. The simulator is
-        // deterministic, but the fault-injection layer makes wedges
-        // seed-dependent rare events worth a bounded second look; cap
-        // hits are pure determinism and fail immediately.
+        // Execute under the class-driven retry policy: transient wedge
+        // classes get bounded re-runs, deterministic classes fail on
+        // sight, and a slow-but-live cap hit earns one extended cap.
+        let mut next_cap: Option<u64> = None;
         loop {
             record.attempts += 1;
-            let report = spec.execute();
-            match report.outcome {
-                RunOutcome::Completed => {
-                    let result = spec.to_result(report.stats);
-                    if let Some(cache) = &opts.cache {
-                        if let Err(e) = cache.store(spec, &result) {
-                            eprintln!("# campaign {}: {e}", self.name);
-                        }
+            let report = match next_cap {
+                Some(cap) => spec.execute_capped(cap),
+                None => spec.execute(),
+            };
+            if report.outcome == RunOutcome::Completed {
+                let result = spec.to_result(report.stats);
+                if let Some(cache) = &opts.cache {
+                    if let Err(e) = cache.store(spec, &result) {
+                        eprintln!("# campaign {}: {e}", self.name);
                     }
-                    record.outcome = if record.attempts > 1 {
-                        format!("completed (attempt {})", record.attempts)
-                    } else {
-                        "completed".into()
-                    };
-                    record.result = Some(result);
-                    return record;
                 }
-                RunOutcome::Wedged if record.attempts <= opts.wedge_retries => {
+                record.outcome = if record.attempts > 1 {
+                    format!("completed (attempt {})", record.attempts)
+                } else {
+                    "completed".into()
+                };
+                record.result = Some(result);
+                return record;
+            }
+
+            let class_label = report
+                .class
+                .as_ref()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "unclassified".into());
+            match retry_decision(
+                report.outcome,
+                report.class.as_ref(),
+                record.attempts,
+                opts.wedge_retries,
+                next_cap.is_some(),
+            ) {
+                RetryDecision::Retry => {
                     eprintln!(
-                        "# campaign {}: {} wedged (attempt {}), retrying",
+                        "# campaign {}: {} wedged ({class_label}, attempt {}), retrying",
                         self.name, spec.label, record.attempts
                     );
                 }
-                RunOutcome::Wedged => {
-                    let diag = report
-                        .wedge
-                        .map(|w| format!(" at cycle {}", w.cycle))
-                        .unwrap_or_default();
-                    record.outcome = format!("wedged{diag} after {} attempts", record.attempts);
-                    return record;
-                }
-                RunOutcome::CapHit => {
-                    record.outcome = format!(
-                        "cycle-cap hit after {} cycles (not retried: deterministic)",
-                        report.stats.cycles
+                RetryDecision::ExtendCap => {
+                    let cap = spec
+                        .default_cycle_cap()
+                        .saturating_mul(CAP_EXTENSION_FACTOR);
+                    eprintln!(
+                        "# campaign {}: {} hit the cycle cap while live ({class_label}), \
+                         re-running once at {CAP_EXTENSION_FACTOR}x cap",
+                        self.name, spec.label
                     );
+                    next_cap = Some(cap);
+                }
+                RetryDecision::Fail => {
+                    record.outcome = match report.outcome {
+                        RunOutcome::Wedged => {
+                            let diag = report
+                                .wedge
+                                .as_ref()
+                                .map(|w| format!(" at cycle {}", w.cycle))
+                                .unwrap_or_default();
+                            format!(
+                                "wedged{diag} after {} attempts — root cause: {class_label}",
+                                record.attempts
+                            )
+                        }
+                        _ => format!(
+                            "cycle-cap hit after {} cycles — root cause: {class_label}{}",
+                            report.stats.cycles,
+                            if next_cap.is_some() {
+                                " (extended cap exhausted)"
+                            } else {
+                                " (not retried: deterministic)"
+                            }
+                        ),
+                    };
                     return record;
                 }
             }
@@ -589,6 +688,72 @@ mod tests {
             Some("executed")
         );
         let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_wedges_within_budget() {
+        for class in [
+            WedgeClass::McStarvation { mcs: vec![0] },
+            WedgeClass::RingBackpressure { backlog: 2_000 },
+            WedgeClass::SlowButLive,
+        ] {
+            assert_eq!(
+                retry_decision(RunOutcome::Wedged, Some(&class), 1, 2, false),
+                RetryDecision::Retry,
+                "{class} is transient"
+            );
+            assert_eq!(
+                retry_decision(RunOutcome::Wedged, Some(&class), 3, 2, false),
+                RetryDecision::Fail,
+                "{class} past the retry budget"
+            );
+        }
+        // Unclassified wedges (pre-classifier reports) stay retryable.
+        assert_eq!(
+            retry_decision(RunOutcome::Wedged, None, 1, 2, false),
+            RetryDecision::Retry
+        );
+    }
+
+    #[test]
+    fn retry_policy_never_retries_deterministic_wedges() {
+        for class in [
+            WedgeClass::EmcContextLeak {
+                contexts: vec![(0, 1)],
+            },
+            WedgeClass::CoreDeadlock { cores: vec![2] },
+        ] {
+            assert_eq!(
+                retry_decision(RunOutcome::Wedged, Some(&class), 1, 5, false),
+                RetryDecision::Fail,
+                "{class} is deterministic — retrying repeats it"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_policy_extends_cap_once_for_live_cap_hits() {
+        let live = WedgeClass::SlowButLive;
+        assert_eq!(
+            retry_decision(RunOutcome::CapHit, Some(&live), 1, 2, false),
+            RetryDecision::ExtendCap
+        );
+        assert_eq!(
+            retry_decision(RunOutcome::CapHit, Some(&live), 2, 2, true),
+            RetryDecision::Fail,
+            "the extension is granted exactly once"
+        );
+        let dead = WedgeClass::CoreDeadlock { cores: vec![0] };
+        assert_eq!(
+            retry_decision(RunOutcome::CapHit, Some(&dead), 1, 2, false),
+            RetryDecision::Fail,
+            "a deadlocked cap hit gains nothing from more cycles"
+        );
+        assert_eq!(
+            retry_decision(RunOutcome::CapHit, None, 1, 2, false),
+            RetryDecision::Fail,
+            "an unclassified cap hit is treated as deterministic"
+        );
     }
 
     #[test]

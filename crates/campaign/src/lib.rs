@@ -40,7 +40,10 @@ pub use codec::{
     histogram_from_json, histogram_to_json, run_result_from_json, run_result_to_json,
     stats_from_json, stats_to_json,
 };
-pub use engine::{Campaign, CampaignOptions, CampaignReport, JobRecord, JobSource, REPORT_SCHEMA};
+pub use engine::{
+    retry_decision, Campaign, CampaignOptions, CampaignReport, JobRecord, JobSource, RetryDecision,
+    CAP_EXTENSION_FACTOR, REPORT_SCHEMA,
+};
 pub use exec::{default_workers, parallel_map};
 pub use hash::{digest128, digest128_hex};
 pub use manifest::{JobStatus, Manifest, ManifestEntry, MANIFEST_SCHEMA};

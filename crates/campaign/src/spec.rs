@@ -8,25 +8,25 @@
 //! they would produce byte-identical results — which is what lets the
 //! result cache deduplicate the same baseline run across figures.
 //!
-//! The canonical encoding destructures every config struct without a
-//! `..` rest pattern: adding a field to [`SystemConfig`] (or any nested
-//! config) breaks compilation here until the encoder includes it, so the
-//! fingerprint can never silently go stale.
+//! The canonical encoding ([`emc_types::codec::config_to_json`])
+//! destructures every config struct without a `..` rest pattern: adding
+//! a field to [`SystemConfig`] (or any nested config) breaks compilation
+//! there until the encoder includes it, so the fingerprint can never
+//! silently go stale.
 
 use emc_energy::{estimate_default, EnergyBreakdown};
 use emc_sim::{eight_core_mix, run_mix};
-use emc_types::{
-    CacheConfig, CoreConfig, DramConfig, EmcConfig, FaultPlan, JsonValue, PrefetchConfig,
-    RingConfig, RunReport, Stats, SystemConfig,
-};
+use emc_types::{JsonValue, RunReport, Stats, SystemConfig};
 use emc_workloads::Benchmark;
+
+pub(crate) use emc_types::codec::u;
 
 use crate::hash::digest128_hex;
 
 /// Bump when a change anywhere in the simulator alters results without
 /// touching any [`SystemConfig`] field — stale cache entries are then
 /// unreachable because every key embeds this value.
-pub const CACHE_EPOCH: u32 = 1;
+pub const CACHE_EPOCH: u32 = 2;
 
 /// The code-version fingerprint mixed into every job key. CI (or any
 /// caller wanting exact provenance) can set `EMC_CODE_FINGERPRINT` at
@@ -125,6 +125,23 @@ impl JobSpec {
         run_mix(self.cfg.clone(), &self.benches, self.budget)
     }
 
+    /// [`execute`](Self::execute) with an explicit cycle cap — the
+    /// engine's one extended re-run for cap hits classified
+    /// slow-but-live.
+    pub fn execute_capped(&self, cycle_cap: u64) -> RunReport {
+        emc_sim::run_mix_capped(
+            self.cfg.clone(),
+            &self.benches,
+            self.budget,
+            Some(cycle_cap),
+        )
+    }
+
+    /// The default cycle cap [`execute`](Self::execute) runs under.
+    pub fn default_cycle_cap(&self) -> u64 {
+        emc_sim::cycle_cap(self.budget)
+    }
+
     /// Package completed statistics as a [`RunResult`] for this spec.
     pub fn to_result(&self, stats: Stats) -> RunResult {
         let energy = estimate_default(&stats, &self.cfg);
@@ -175,234 +192,13 @@ pub struct RunResult {
     pub ipcs: Vec<f64>,
 }
 
-/// Encode a `u64` exactly: numbers up to 2^53 fit JSON's double grid;
-/// larger values (saturated histogram sums) are carried as strings so
-/// the codec round-trips bit-exactly.
-pub(crate) fn u(v: u64) -> JsonValue {
-    if v <= (1u64 << 53) {
-        JsonValue::Num(v as f64)
-    } else {
-        JsonValue::Str(v.to_string())
-    }
-}
-
-fn b(v: bool) -> JsonValue {
-    JsonValue::Bool(v)
-}
-
-fn f(v: f64) -> JsonValue {
-    JsonValue::Num(v)
-}
-
-/// Canonical encoding of a [`SystemConfig`]. Every field of every
-/// nested struct is named; the destructuring patterns are intentionally
-/// `..`-free so new fields cannot be omitted silently.
+/// Canonical encoding of a [`SystemConfig`] — a thin alias for
+/// [`emc_types::codec::config_to_json`], the single exhaustive encoder
+/// shared with the simulator's exporters. Every field of every nested
+/// struct (including the liveness layer) enters the document, so it can
+/// never silently fall out of the cache key.
 pub fn config_json(cfg: &SystemConfig) -> JsonValue {
-    let SystemConfig {
-        cores,
-        memory_controllers,
-        core,
-        l1,
-        llc_slice,
-        ring,
-        dram,
-        prefetcher,
-        prefetch,
-        emc,
-        seed,
-        ideal_dependent_hits,
-        faults,
-    } = cfg;
-    JsonValue::obj(vec![
-        ("cores", u(*cores as u64)),
-        ("memory_controllers", u(*memory_controllers as u64)),
-        ("core", core_json(core)),
-        ("l1", cache_json(l1)),
-        ("llc_slice", cache_json(llc_slice)),
-        ("ring", ring_json(ring)),
-        ("dram", dram_json(dram)),
-        ("prefetcher", prefetcher.label().into()),
-        ("prefetch", prefetch_json(prefetch)),
-        ("emc", emc_json(emc)),
-        ("seed", u(*seed)),
-        ("ideal_dependent_hits", b(*ideal_dependent_hits)),
-        ("faults", faults_json(faults)),
-    ])
-}
-
-fn core_json(c: &CoreConfig) -> JsonValue {
-    let CoreConfig {
-        fetch_width,
-        issue_width,
-        retire_width,
-        rob_entries,
-        rs_entries,
-        lsq_entries,
-        mispredict_penalty,
-        bp_table_entries,
-        runahead,
-    } = c;
-    JsonValue::obj(vec![
-        ("fetch_width", u(*fetch_width as u64)),
-        ("issue_width", u(*issue_width as u64)),
-        ("retire_width", u(*retire_width as u64)),
-        ("rob_entries", u(*rob_entries as u64)),
-        ("rs_entries", u(*rs_entries as u64)),
-        ("lsq_entries", u(*lsq_entries as u64)),
-        ("mispredict_penalty", u(*mispredict_penalty)),
-        ("bp_table_entries", u(*bp_table_entries as u64)),
-        ("runahead", b(*runahead)),
-    ])
-}
-
-fn cache_json(c: &CacheConfig) -> JsonValue {
-    let CacheConfig {
-        bytes,
-        ways,
-        latency,
-        mshrs,
-    } = c;
-    JsonValue::obj(vec![
-        ("bytes", u(*bytes)),
-        ("ways", u(*ways as u64)),
-        ("latency", u(*latency)),
-        ("mshrs", u(*mshrs as u64)),
-    ])
-}
-
-fn ring_json(r: &RingConfig) -> JsonValue {
-    let RingConfig {
-        link_cycles,
-        stop_cycles,
-    } = r;
-    JsonValue::obj(vec![
-        ("link_cycles", u(*link_cycles)),
-        ("stop_cycles", u(*stop_cycles)),
-    ])
-}
-
-fn dram_json(d: &DramConfig) -> JsonValue {
-    let DramConfig {
-        channels,
-        ranks_per_channel,
-        banks_per_rank,
-        row_bytes,
-        t_cas,
-        t_rcd,
-        t_rp,
-        t_ras,
-        t_burst,
-        queue_entries,
-    } = d;
-    JsonValue::obj(vec![
-        ("channels", u(*channels as u64)),
-        ("ranks_per_channel", u(*ranks_per_channel as u64)),
-        ("banks_per_rank", u(*banks_per_rank as u64)),
-        ("row_bytes", u(*row_bytes)),
-        ("t_cas", u(*t_cas)),
-        ("t_rcd", u(*t_rcd)),
-        ("t_rp", u(*t_rp)),
-        ("t_ras", u(*t_ras)),
-        ("t_burst", u(*t_burst)),
-        ("queue_entries", u(*queue_entries as u64)),
-    ])
-}
-
-fn prefetch_json(p: &PrefetchConfig) -> JsonValue {
-    let PrefetchConfig {
-        stream_count,
-        stream_distance,
-        markov_entries,
-        markov_fanout,
-        ghb_entries,
-        ghb_index_entries,
-        fdp_min_degree,
-        fdp_max_degree,
-        fdp_high_accuracy,
-        fdp_low_accuracy,
-        fdp_interval,
-    } = p;
-    JsonValue::obj(vec![
-        ("stream_count", u(*stream_count as u64)),
-        ("stream_distance", u(*stream_distance)),
-        ("markov_entries", u(*markov_entries as u64)),
-        ("markov_fanout", u(*markov_fanout as u64)),
-        ("ghb_entries", u(*ghb_entries as u64)),
-        ("ghb_index_entries", u(*ghb_index_entries as u64)),
-        ("fdp_min_degree", u(*fdp_min_degree as u64)),
-        ("fdp_max_degree", u(*fdp_max_degree as u64)),
-        ("fdp_high_accuracy", f(*fdp_high_accuracy)),
-        ("fdp_low_accuracy", f(*fdp_low_accuracy)),
-        ("fdp_interval", u(*fdp_interval)),
-    ])
-}
-
-fn emc_json(e: &EmcConfig) -> JsonValue {
-    let EmcConfig {
-        enabled,
-        contexts,
-        uop_buffer,
-        prf_entries,
-        live_in_entries,
-        lsq_entries,
-        rs_entries,
-        issue_width,
-        tlb_entries,
-        dcache_bytes,
-        dcache_ways,
-        dcache_latency,
-        miss_pred_entries,
-        miss_pred_threshold,
-        dep_counter_trigger,
-        chain_candidates,
-        quiesce_threshold,
-        quiesce_backoff,
-        quiesce_backoff_max,
-    } = e;
-    JsonValue::obj(vec![
-        ("enabled", b(*enabled)),
-        ("contexts", u(*contexts as u64)),
-        ("uop_buffer", u(*uop_buffer as u64)),
-        ("prf_entries", u(*prf_entries as u64)),
-        ("live_in_entries", u(*live_in_entries as u64)),
-        ("lsq_entries", u(*lsq_entries as u64)),
-        ("rs_entries", u(*rs_entries as u64)),
-        ("issue_width", u(*issue_width as u64)),
-        ("tlb_entries", u(*tlb_entries as u64)),
-        ("dcache_bytes", u(*dcache_bytes)),
-        ("dcache_ways", u(*dcache_ways as u64)),
-        ("dcache_latency", u(*dcache_latency)),
-        ("miss_pred_entries", u(*miss_pred_entries as u64)),
-        ("miss_pred_threshold", u(*miss_pred_threshold as u64)),
-        ("dep_counter_trigger", u(*dep_counter_trigger as u64)),
-        ("chain_candidates", u(*chain_candidates as u64)),
-        ("quiesce_threshold", u(*quiesce_threshold as u64)),
-        ("quiesce_backoff", u(*quiesce_backoff)),
-        ("quiesce_backoff_max", u(*quiesce_backoff_max)),
-    ])
-}
-
-fn faults_json(p: &FaultPlan) -> JsonValue {
-    let FaultPlan {
-        enabled,
-        ring_delay_prob,
-        ring_delay_cycles,
-        dram_reissue_prob,
-        dram_reissue_penalty,
-        emc_kill_prob,
-        mc_storm_prob,
-        mc_storm_cycles,
-    } = p;
-    JsonValue::obj(vec![
-        ("enabled", b(*enabled)),
-        ("ring_delay_prob", f(*ring_delay_prob)),
-        ("ring_delay_cycles", u(*ring_delay_cycles)),
-        ("dram_reissue_prob", f(*dram_reissue_prob)),
-        ("dram_reissue_penalty", u(*dram_reissue_penalty)),
-        ("emc_kill_prob", f(*emc_kill_prob)),
-        ("mc_storm_prob", f(*mc_storm_prob)),
-        ("mc_storm_cycles", u(*mc_storm_cycles)),
-    ])
+    emc_types::codec::config_to_json(cfg)
 }
 
 /// Look up a [`Benchmark`] by its printed name (inverse of

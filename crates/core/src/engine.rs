@@ -49,6 +49,11 @@ pub enum AbortReason {
     /// fault; the home core re-executes the chain exactly as for a TLB
     /// miss, so architectural state is unaffected).
     Injected,
+    /// The context's forward-progress lease expired: the chain made no
+    /// progress (no source delivery, load completion, or result drain)
+    /// for the configured lease window, so the simulator reclaimed the
+    /// context and the home core re-executes the chain locally.
+    LeaseExpired,
 }
 
 /// Where an EMC load was routed (§4.3).

@@ -30,6 +30,10 @@ struct QueueEntry {
     req: MemReq,
     loc: Location,
     marked: bool,
+    /// Anti-starvation escalation: set once the request's queue age
+    /// crosses the controller's escalation threshold. Escalated requests
+    /// outrank every PAR-BS priority class, including row hits.
+    escalated: bool,
     seq: u64,
 }
 
@@ -95,6 +99,9 @@ pub struct MemoryController {
     in_flight: BinaryHeap<InFlight>,
     next_seq: u64,
     queue_entries: usize,
+    /// Queue age (cycles since `mc_enqueue`) beyond which a request is
+    /// escalated ahead of row-hit preference. `None` disables aging.
+    escalation_threshold: Option<Cycle>,
     faults: Option<McFaults>,
     /// End cycle of the current backpressure storm (0 = none).
     storm_until: Cycle,
@@ -123,6 +130,7 @@ impl MemoryController {
             in_flight: BinaryHeap::new(),
             next_seq: 0,
             queue_entries: cfg.queue_entries,
+            escalation_threshold: None,
             faults: None,
             storm_until: 0,
             storm_active: false,
@@ -152,6 +160,35 @@ impl MemoryController {
             self.storm_until = 0;
             self.storm_active = false;
         }
+    }
+
+    /// Arm (or disarm) request aging: once a queued request has waited
+    /// `threshold` cycles it is escalated ahead of row-hit preference and
+    /// batch boundaries, bounding worst-case queueing delay. Escalation
+    /// is deterministic (pure function of queue ages) and timing-only:
+    /// it never drops or reorders data, only the service order.
+    pub fn set_escalation_threshold(&mut self, threshold: Option<Cycle>) {
+        self.escalation_threshold = threshold;
+    }
+
+    /// Liveness probe: for each owned channel, the age in cycles of the
+    /// oldest queued request (`0` for an empty channel queue), as
+    /// `(global_channel, oldest_age)` pairs.
+    pub fn oldest_queue_ages(&self, now: Cycle) -> Vec<(usize, Cycle)> {
+        self.owned_channels
+            .iter()
+            .map(|&global| {
+                let oldest = self
+                    .queue
+                    .iter()
+                    .filter(|e| e.loc.channel == global)
+                    .filter_map(|e| e.req.timeline.mc_enqueue)
+                    .min()
+                    .map(|enq| now.saturating_sub(enq))
+                    .unwrap_or(0);
+                (global, oldest)
+            })
+            .collect()
     }
 
     /// Whether this MC services the given global channel index.
@@ -222,6 +259,7 @@ impl MemoryController {
             req,
             loc,
             marked: false,
+            escalated: false,
             seq,
         });
         Ok(())
@@ -253,13 +291,37 @@ impl MemoryController {
         }
     }
 
+    /// Escalate requests whose queue age crossed the aging threshold.
+    /// The scan is a pure function of `(queue ages, now)`, so it is
+    /// seed-stable and independent of scheduler history.
+    fn escalate_aged(&mut self, now: Cycle, stats: &mut MemStats) {
+        let Some(threshold) = self.escalation_threshold else {
+            return;
+        };
+        for e in &mut self.queue {
+            if e.escalated {
+                continue;
+            }
+            let enqueued = e.req.timeline.mc_enqueue.unwrap_or(now);
+            if now.saturating_sub(enqueued) >= threshold {
+                e.escalated = true;
+                stats.escalated_requests += 1;
+            }
+        }
+    }
+
     /// Pick the best issueable request for local channel `ci`, by PAR-BS
-    /// priority: marked > unmarked; demand > prefetch > write; row-hit >
-    /// row-miss; oldest first.
+    /// priority: escalated > non-escalated; marked > unmarked; demand >
+    /// prefetch > write; row-hit > row-miss; oldest first. Escalated
+    /// requests ignore row-hit preference so an open-row stream cannot
+    /// keep starving them.
     fn pick(&self, ci: usize) -> Option<usize> {
+        /// PAR-BS priority key: (escalated, marked, kind rank, row hit,
+        /// inverted seq). Higher compares greater.
+        type Priority = (bool, bool, u8, bool, u64);
         let global = self.owned_channels[ci];
         let ch = &self.channels[ci];
-        let mut best: Option<(usize, (bool, u8, bool, u64))> = None;
+        let mut best: Option<(usize, Priority)> = None;
         for (i, e) in self.queue.iter().enumerate() {
             if e.loc.channel != global {
                 continue;
@@ -271,7 +333,13 @@ impl MemoryController {
             };
             let row_hit = ch.open_row(e.loc) == Some(e.loc.row);
             // Higher tuple = higher priority; seq inverted for oldest-first.
-            let key = (e.marked, kind_rank, row_hit, u64::MAX - e.seq);
+            let key = (
+                e.escalated,
+                e.marked,
+                kind_rank,
+                row_hit && !e.escalated,
+                u64::MAX - e.seq,
+            );
             if best.is_none_or(|(_, bk)| key > bk) {
                 best = Some((i, key));
             }
@@ -290,6 +358,7 @@ impl MemoryController {
             }
             self.storm_active = now < self.storm_until;
         }
+        self.escalate_aged(now, stats);
         self.form_batch();
         for ci in 0..self.channels.len() {
             let Some(qi) = self.pick(ci) else { continue };

@@ -144,6 +144,21 @@ impl Ring {
             .count()
     }
 
+    /// Liveness probe: the worst link backlog across both rings and
+    /// directions — how far beyond `now` the busiest link is already
+    /// committed, in cycles (`0` when every link is free). A backlog
+    /// that keeps growing means senders are queueing faster than links
+    /// drain: interconnect backpressure, not DRAM latency.
+    pub fn max_backlog(&self, now: Cycle) -> Cycle {
+        self.free_at
+            .iter()
+            .flat_map(|dirs| dirs.iter())
+            .flat_map(|links| links.iter())
+            .map(|&free| free.saturating_sub(now))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Hop distance and direction (0 = clockwise) of the shorter path.
     fn route(&self, from: usize, to: usize) -> (usize, usize) {
         let n = self.topo.stops();

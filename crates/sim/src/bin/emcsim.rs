@@ -3,7 +3,7 @@
 //! Usage:
 //!   emcsim [--mix H4 | --homog mcf] [--cores 4|8] [--mcs 1|2]
 //!          [--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]
-//!          [--budget N] [--seed N] [--faults] [--json]
+//!          [--budget N] [--seed N] [--faults] [--json] [--liveness] [--no-liveness]
 //!          [--metrics-out FILE] [--trace-out FILE] [--sample-interval N]
 //!
 //! Prints a human-readable report with latency percentiles, or a
@@ -11,26 +11,46 @@
 //! the full statistics document (histograms + time-series samples);
 //! `--trace-out` writes a Chrome trace-event file loadable in Perfetto.
 //! Both are written even for wedged or capped runs, so a bad run still
-//! leaves its evidence behind.
+//! leaves its evidence behind. `--liveness` additionally dumps the
+//! per-component liveness probe snapshot on any non-completed outcome.
 //!
-//! Exit codes: 0 on a completed run, 2 on bad arguments, 3 when the
-//! run wedged (the `WedgeReport` is printed to stderr), 4 when the
-//! cycle cap was hit before every core reached its budget.
+//! Exit codes: 0 on a completed run, 2 on bad arguments. A run that
+//! does not complete exits with its wedge root-cause class — 10
+//! mc-starvation, 11 emc-context-leak, 12 ring-backpressure, 13
+//! core-deadlock, 14 slow-but-live — falling back to 3 (wedged) or 4
+//! (cycle-cap hit) when no class was captured.
 
 use emc_sim::{build_system, cycle_cap, eight_core_mix, metrics_json, summary_json, RunOutcome};
-use emc_types::{FaultPlan, Histogram, PrefetcherKind, SystemConfig};
+use emc_types::{FaultPlan, Histogram, LivenessConfig, PrefetcherKind, SystemConfig, WedgeClass};
 use emc_workloads::{mix_by_name, Benchmark};
 use std::io::Write;
 
 const EXIT_BAD_ARGS: i32 = 2;
 const EXIT_WEDGED: i32 = 3;
 const EXIT_CAP_HIT: i32 = 4;
+const EXIT_MC_STARVATION: i32 = 10;
+const EXIT_EMC_CONTEXT_LEAK: i32 = 11;
+const EXIT_RING_BACKPRESSURE: i32 = 12;
+const EXIT_CORE_DEADLOCK: i32 = 13;
+const EXIT_SLOW_BUT_LIVE: i32 = 14;
+
+/// Exit code for a classified non-completed run (one code per
+/// [`WedgeClass`], so scripts can dispatch without parsing stderr).
+fn class_exit_code(class: &WedgeClass) -> i32 {
+    match class {
+        WedgeClass::McStarvation { .. } => EXIT_MC_STARVATION,
+        WedgeClass::EmcContextLeak { .. } => EXIT_EMC_CONTEXT_LEAK,
+        WedgeClass::RingBackpressure { .. } => EXIT_RING_BACKPRESSURE,
+        WedgeClass::CoreDeadlock { .. } => EXIT_CORE_DEADLOCK,
+        WedgeClass::SlowButLive => EXIT_SLOW_BUT_LIVE,
+    }
+}
 
 fn usage() {
     eprintln!(
         "usage: emcsim [--mix H1..H10 | --homog <bench>] [--cores 4|8] [--mcs 1|2]\n\
          \t[--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]\n\
-         \t[--budget N] [--seed N] [--faults] [--json]\n\
+         \t[--budget N] [--seed N] [--faults] [--json] [--liveness] [--no-liveness]\n\
          \t[--metrics-out FILE] [--trace-out FILE] [--sample-interval N]"
     );
 }
@@ -81,6 +101,8 @@ fn main() {
     let mut seed = 0x00c0_ffeeu64;
     let mut faults = false;
     let mut json = false;
+    let mut liveness = false;
+    let mut no_liveness = false;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut sample_interval: Option<u64> = None;
@@ -109,6 +131,8 @@ fn main() {
             "--seed" => seed = parse_value(&mut args, "--seed"),
             "--faults" => faults = true,
             "--json" => json = true,
+            "--liveness" => liveness = true,
+            "--no-liveness" => no_liveness = true,
             "--metrics-out" => metrics_out = Some(require_value(&mut args, "--metrics-out")),
             "--trace-out" => trace_out = Some(require_value(&mut args, "--trace-out")),
             "--sample-interval" => {
@@ -131,6 +155,9 @@ fn main() {
     cfg.seed = seed;
     if faults {
         cfg.faults = FaultPlan::chaos();
+    }
+    if no_liveness {
+        cfg.liveness = LivenessConfig::disabled();
     }
 
     let benches: Vec<Benchmark> = match &homog {
@@ -197,22 +224,42 @@ fn main() {
 
     match report.outcome {
         RunOutcome::Completed => {}
-        RunOutcome::Wedged => {
-            eprintln!("emcsim: run WEDGED — no forward progress");
-            match &report.wedge {
-                Some(w) => eprintln!("{w}"),
-                None => eprintln!("(no wedge report captured)"),
+        outcome => {
+            match outcome {
+                RunOutcome::Wedged => {
+                    eprintln!("emcsim: run WEDGED — no forward progress");
+                    match &report.wedge {
+                        Some(w) => eprintln!("{w}"),
+                        None => eprintln!("(no wedge report captured)"),
+                    }
+                }
+                _ => {
+                    let progress: Vec<u64> =
+                        report.stats.cores.iter().map(|c| c.retired_uops).collect();
+                    eprintln!(
+                        "emcsim: cycle cap hit after {} cycles before every core reached its \
+                         budget; per-core retired uops: {progress:?}",
+                        report.stats.cycles
+                    );
+                }
             }
-            std::process::exit(EXIT_WEDGED);
-        }
-        RunOutcome::CapHit => {
-            let progress: Vec<u64> = report.stats.cores.iter().map(|c| c.retired_uops).collect();
-            eprintln!(
-                "emcsim: cycle cap hit after {} cycles before every core reached its \
-                 budget; per-core retired uops: {progress:?}",
-                report.stats.cycles
+            if let Some(class) = &report.class {
+                eprintln!("emcsim: root cause: {class}");
+            }
+            if liveness {
+                match &report.liveness {
+                    Some(snap) => eprintln!("emcsim: liveness probes:\n{}", snap.summary()),
+                    None => eprintln!("emcsim: liveness probes: (no snapshot captured)"),
+                }
+            }
+            let code = report.class.as_ref().map(class_exit_code).unwrap_or(
+                if outcome == RunOutcome::Wedged {
+                    EXIT_WEDGED
+                } else {
+                    EXIT_CAP_HIT
+                },
             );
-            std::process::exit(EXIT_CAP_HIT);
+            std::process::exit(code);
         }
     }
     let stats = report.stats;

@@ -33,6 +33,7 @@ pub mod system;
 pub use emc_types::{RunOutcome, RunReport, WedgeReport};
 pub use metrics::{metrics_json, summary_json, Sampler, DEFAULT_SAMPLE_INTERVAL};
 pub use runner::{
-    build_system, cycle_cap, eight_core_mix, run_homogeneous, run_mix, DEFAULT_BUDGET,
+    build_system, cycle_cap, eight_core_mix, run_homogeneous, run_mix, run_mix_capped,
+    DEFAULT_BUDGET,
 };
 pub use system::{BuildError, System};

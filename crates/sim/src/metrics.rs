@@ -167,6 +167,7 @@ pub fn metrics_json(
                 ),
                 ("stall_episodes", histogram_json(&c.stall_episodes)),
                 ("chains_sent", c.chains_sent.into()),
+                ("chains_aborted_lease", c.chains_aborted_lease.into()),
             ])
         })
         .collect();
@@ -197,6 +198,7 @@ pub fn metrics_json(
                 ("row_hits", m.row_hits.into()),
                 ("row_conflicts", m.row_conflicts.into()),
                 ("row_empties", m.row_empties.into()),
+                ("escalated_requests", m.escalated_requests.into()),
                 ("latency", latency),
             ]),
         ),

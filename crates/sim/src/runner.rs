@@ -47,8 +47,26 @@ pub fn build_system(cfg: SystemConfig, benches: &[Benchmark]) -> Result<System, 
 /// Panics if the system cannot be built (mismatched benchmark count or
 /// invalid config); use [`build_system`] directly to handle that case.
 pub fn run_mix(cfg: SystemConfig, benches: &[Benchmark], budget: u64) -> RunReport {
+    run_mix_capped(cfg, benches, budget, None)
+}
+
+/// [`run_mix`] with an explicit cycle cap (`None` = the default
+/// [`cycle_cap`]). The campaign engine uses this to grant one extended
+/// re-run when a cap hit is classified slow-but-live — the run is
+/// making progress, it just needs more wall-clock.
+///
+/// # Panics
+///
+/// Panics if the system cannot be built (mismatched benchmark count or
+/// invalid config); use [`build_system`] directly to handle that case.
+pub fn run_mix_capped(
+    cfg: SystemConfig,
+    benches: &[Benchmark],
+    budget: u64,
+    cap: Option<u64>,
+) -> RunReport {
     let mut sys = build_system(cfg, benches).unwrap_or_else(|e| panic!("run_mix: {e}"));
-    sys.run_with_warmup(budget / 2, budget, cycle_cap(budget))
+    sys.run_with_warmup(budget / 2, budget, cap.unwrap_or_else(|| cycle_cap(budget)))
 }
 
 /// Run a homogeneous workload: `cfg.cores` copies of one benchmark.

@@ -14,9 +14,10 @@ use emc_memctrl::MemoryController;
 use emc_prefetch::PrefetchEngine;
 use emc_ring::{Ring, RingKind, Topology};
 use emc_types::{
-    physical_line, substream, AccessKind, Addr, CoreId, CoreStats, Cycle, LineAddr, MemReq,
-    MetricSample, MissJourney, ReqId, Requester, RunOutcome, RunReport, Stats, SystemConfig,
-    TraceSink, TraceTrack, UopKind, WedgeCoreState, WedgeEmcContext, WedgeReport, CACHE_LINE_BYTES,
+    physical_line, substream, AccessKind, Addr, CoreId, CoreStats, Cycle, LineAddr,
+    LivenessSnapshot, MemReq, MetricSample, MissJourney, ReqId, Requester, RunOutcome, RunReport,
+    Stats, SystemConfig, TraceSink, TraceTrack, UopKind, WedgeCoreState, WedgeEmcContext,
+    WedgeReport, CACHE_LINE_BYTES,
 };
 use emc_workloads::Workload;
 use rand::rngs::SmallRng;
@@ -31,9 +32,13 @@ const FAULT_STREAM_RING: u64 = 0xF001;
 const FAULT_STREAM_MC_BASE: u64 = 0xF100;
 const FAULT_STREAM_EMC_KILL: u64 = 0xF200;
 
-/// How often the forward-progress watchdog samples retirement.
+/// Default watchdog sampling cadence; the live value comes from
+/// `LivenessConfig::probe_interval`.
+#[cfg(test)]
 const WATCHDOG_INTERVAL: Cycle = 10_000;
-/// Zero total retirement for this many cycles declares a wedge.
+/// Default zero-retirement window that declares a wedge; the live value
+/// comes from `LivenessConfig::core_stall_age`.
+#[cfg(test)]
 const WEDGE_THRESHOLD: Cycle = 250_000;
 /// How many time-series samples a [`WedgeReport`] carries as the
 /// queue-depth history leading up to the wedge.
@@ -70,37 +75,43 @@ impl fmt::Display for BuildError {
 impl std::error::Error for BuildError {}
 
 /// In-loop forward-progress watchdog: samples total retirement every
-/// [`WATCHDOG_INTERVAL`] cycles and reports how long the system has
-/// been stalled once the window exceeds [`WEDGE_THRESHOLD`].
+/// `interval` cycles and reports how long the system has been stalled
+/// once the zero-retirement window exceeds `threshold`. Both come from
+/// `LivenessConfig` (`probe_interval` / `core_stall_age`).
 struct Watchdog {
     last_retired: u64,
     last_progress_at: Cycle,
     next_check: Cycle,
+    interval: Cycle,
+    threshold: Cycle,
 }
 
 impl Watchdog {
-    fn new(now: Cycle, retired: u64) -> Self {
+    fn new(now: Cycle, retired: u64, interval: Cycle, threshold: Cycle) -> Self {
+        let interval = interval.max(1);
         Watchdog {
             last_retired: retired,
             last_progress_at: now,
-            next_check: now + WATCHDOG_INTERVAL,
+            next_check: now + interval,
+            interval,
+            threshold,
         }
     }
 
     /// Returns `Some(stalled_for)` once no uop has retired anywhere for
-    /// at least [`WEDGE_THRESHOLD`] cycles.
+    /// at least the configured threshold.
     fn check(&mut self, now: Cycle, retired: u64) -> Option<Cycle> {
         if now < self.next_check {
             return None;
         }
-        self.next_check = now + WATCHDOG_INTERVAL;
+        self.next_check = now + self.interval;
         if retired != self.last_retired {
             self.last_retired = retired;
             self.last_progress_at = now;
             return None;
         }
         let stalled = now - self.last_progress_at;
-        (stalled >= WEDGE_THRESHOLD).then_some(stalled)
+        (stalled >= self.threshold).then_some(stalled)
     }
 }
 
@@ -186,6 +197,14 @@ pub struct System {
     /// Per EMC context: ship-start and execution-start cycles of the
     /// chain currently occupying it (chain-latency attribution).
     emc_ctx_ship: Vec<Vec<Option<(Cycle, Cycle)>>>,
+    /// Per EMC context: cycle of the last forward-progress event (ship
+    /// arrival, source delivery, load completion or result drain) of
+    /// the occupying chain — the context-lease clock.
+    emc_ctx_progress: Vec<Vec<Cycle>>,
+    /// Per-core cycle of the last retirement (liveness probe).
+    core_last_retire: Vec<Cycle>,
+    /// Per-core retired-uop count at the last probe update.
+    core_prev_retired: Vec<u64>,
     snapshots: Vec<Option<CoreStats>>,
     scratch_events: Vec<CoreEvent>,
     measure_start: Cycle,
@@ -235,6 +254,9 @@ impl System {
                 &cfg.faults,
                 substream(cfg.seed, FAULT_STREAM_MC_BASE + m as u64),
             );
+            if cfg.liveness.enabled {
+                mc.set_escalation_threshold(Some(cfg.liveness.mc_escalation_age));
+            }
         }
         let emc_fault = (cfg.faults.enabled && cfg.faults.emc_kill_prob > 0.0).then(|| {
             let rng = SmallRng::seed_from_u64(substream(cfg.seed, FAULT_STREAM_EMC_KILL));
@@ -279,6 +301,9 @@ impl System {
             trace: TraceSink::disabled(),
             sampler: Sampler::default(),
             emc_ctx_ship: vec![vec![None; cfg.emc.contexts]; cfg.memory_controllers],
+            emc_ctx_progress: vec![vec![0; cfg.emc.contexts]; cfg.memory_controllers],
+            core_last_retire: vec![0; cfg.cores],
+            core_prev_retired: vec![0; cfg.cores],
             snapshots: vec![None; cfg.cores],
             scratch_events: Vec::new(),
             measure_start: 0,
@@ -378,10 +403,11 @@ impl System {
     /// the cycle cap yields [`RunOutcome::CapHit`] (truncated stats,
     /// never silently passed off as a measurement), and a forward-
     /// progress watchdog aborts runs where no core retires anything for
-    /// [`WEDGE_THRESHOLD`] cycles, attaching a [`WedgeReport`] of the
-    /// scheduler state.
+    /// `LivenessConfig::core_stall_age` cycles, attaching a
+    /// [`WedgeReport`] of the scheduler state (with its liveness-probe
+    /// root-cause classification).
     pub fn run(&mut self, budget_uops: u64, max_cycles: u64) -> RunReport {
-        let mut watch = Watchdog::new(self.now, self.total_retired());
+        let mut watch = self.new_watchdog();
         while self.now < max_cycles && !self.all_cores_done(budget_uops) {
             self.tick(budget_uops);
             if let Some(stalled) = watch.check(self.now, self.total_retired()) {
@@ -405,7 +431,7 @@ impl System {
         budget_uops: u64,
         max_cycles: u64,
     ) -> RunReport {
-        let mut watch = Watchdog::new(self.now, self.total_retired());
+        let mut watch = self.new_watchdog();
         while self.now < max_cycles && !self.all_cores_done(warmup_uops) {
             self.tick(u64::MAX); // no snapshots during warmup
             if let Some(stalled) = watch.check(self.now, self.total_retired()) {
@@ -416,7 +442,7 @@ impl System {
             return self.report(warmup_uops); // cap hit inside warmup
         }
         self.reset_statistics();
-        let mut watch = Watchdog::new(self.now, self.total_retired());
+        let mut watch = self.new_watchdog();
         while self.now < max_cycles && !self.all_cores_done(budget_uops) {
             self.tick(budget_uops);
             if let Some(stalled) = watch.check(self.now, self.total_retired()) {
@@ -430,16 +456,33 @@ impl System {
         self.cores.iter().map(|c| c.stats.retired_uops).sum()
     }
 
+    fn new_watchdog(&self) -> Watchdog {
+        Watchdog::new(
+            self.now,
+            self.total_retired(),
+            self.cfg.liveness.probe_interval,
+            self.cfg.liveness.core_stall_age,
+        )
+    }
+
     fn report(&mut self, budget_uops: u64) -> RunReport {
         let outcome = if self.all_cores_done(budget_uops) {
             RunOutcome::Completed
         } else {
             RunOutcome::CapHit
         };
+        let (class, liveness) = if outcome == RunOutcome::Completed {
+            (None, None)
+        } else {
+            let snap = self.liveness_snapshot();
+            (Some(snap.classify(&self.cfg.liveness)), Some(snap))
+        };
         RunReport {
             outcome,
             stats: self.finalize(),
             wedge: None,
+            class,
+            liveness,
         }
     }
 
@@ -448,7 +491,47 @@ impl System {
         RunReport {
             outcome: RunOutcome::Wedged,
             stats: self.finalize(),
+            class: wedge.class.clone(),
+            liveness: wedge.liveness.clone(),
             wedge: Some(wedge),
+        }
+    }
+
+    /// Read every per-component liveness probe: per-channel oldest
+    /// queued-request age at each MC, per-context progress age at each
+    /// EMC, the worst ring link backlog, and per-core retirement ages.
+    /// Pure observation — never changes simulated state.
+    pub fn liveness_snapshot(&self) -> LivenessSnapshot {
+        let mut mc_oldest_age = Vec::new();
+        for (m, mc) in self.mcs.iter().enumerate() {
+            for (ch, age) in mc.oldest_queue_ages(self.now) {
+                mc_oldest_age.push((m, ch, age));
+            }
+        }
+        let mut emc_ctx_age = Vec::new();
+        for (m, emc) in self.emcs.iter().enumerate() {
+            for ctx in 0..self.cfg.emc.contexts {
+                if emc.context_chain(ctx).is_some() {
+                    let age = self.now.saturating_sub(self.emc_ctx_progress[m][ctx]);
+                    emc_ctx_age.push((m, ctx, age));
+                }
+            }
+        }
+        LivenessSnapshot {
+            cycle: self.now,
+            mc_oldest_age,
+            emc_ctx_age,
+            ring_backlog: self.ring.max_backlog(self.now),
+            core_retire_age: self
+                .core_last_retire
+                .iter()
+                .map(|&at| self.now.saturating_sub(at))
+                .collect(),
+            cores_finished: self
+                .cores
+                .iter()
+                .map(|c| c.finished_at().is_some())
+                .collect(),
         }
     }
 
@@ -492,6 +575,7 @@ impl System {
                 })
             })
             .collect();
+        let liveness = self.liveness_snapshot();
         WedgeReport {
             cycle: self.now,
             stalled_for,
@@ -502,6 +586,8 @@ impl System {
             outstanding_lines: self.outstanding.len(),
             pending_events: self.events.len(),
             recent_samples: self.sampler.recent(WEDGE_SAMPLE_HISTORY).to_vec(),
+            class: Some(liveness.classify(&self.cfg.liveness)),
+            liveness: Some(liveness),
         }
     }
 
@@ -518,6 +604,9 @@ impl System {
         self.snapshots = vec![None; self.cfg.cores];
         // Warmup-phase samples are discarded like every other statistic.
         self.sampler.clear();
+        // The retirement probe starts a fresh epoch with the counters.
+        self.core_prev_retired = vec![0; self.cfg.cores];
+        self.core_last_retire = vec![self.now; self.cfg.cores];
     }
 
     fn all_cores_done(&self, budget: u64) -> bool {
@@ -560,9 +649,23 @@ impl System {
         self.maybe_generate_chains();
         self.drain_prefetchers();
         self.tick_cores();
+        self.track_retirement();
         self.observe();
         self.take_snapshots(budget);
         self.now += 1;
+    }
+
+    /// Per-core retirement liveness probe: remember the cycle of each
+    /// core's most recent retirement (read-only bookkeeping; never
+    /// affects simulated behaviour).
+    fn track_retirement(&mut self) {
+        for c in 0..self.cfg.cores {
+            let retired = self.cores[c].stats.retired_uops;
+            if retired != self.core_prev_retired[c] {
+                self.core_prev_retired[c] = retired;
+                self.core_last_retire[c] = self.now;
+            }
+        }
     }
 
     /// Per-cycle observability hook: close finished ROB-stall spans and
@@ -838,6 +941,7 @@ impl System {
             } => {
                 if self.emc_ctx_tag[mc][ctx] == tag {
                     self.emcs[mc].complete_load(ctx, uop, value);
+                    self.emc_ctx_progress[mc][ctx] = self.now;
                 }
             }
             Ev::ChainResults { core, results } => {
@@ -1083,6 +1187,7 @@ impl System {
                 if self.emc_ctx_tag[emc_mc][ctx] == tag {
                     let value = self.source_value(emc_mc, ctx, c, rob);
                     self.emcs[emc_mc].deliver_source(ctx, value);
+                    self.emc_ctx_progress[emc_mc][ctx] = self.now;
                 }
                 self.pending_sources.remove(&(c, rob));
             }
@@ -1247,6 +1352,7 @@ impl System {
                     if self.emc_ctx_tag[emc_mc][ctx] == tag {
                         let value = self.source_value(emc_mc, ctx, c, rob);
                         self.emcs[emc_mc].deliver_source(ctx, value);
+                        self.emc_ctx_progress[emc_mc][ctx] = self.now;
                     }
                     self.pending_sources.remove(&(c, rob));
                 }
@@ -1369,6 +1475,26 @@ impl System {
     fn tick_emcs(&mut self) {
         if !self.cfg.emc.enabled {
             return;
+        }
+        // Context leases: a shipped chain that has made no progress for
+        // the whole lease window is deterministically killed; the abort
+        // rides the normal chain-abort path, so the home core re-executes
+        // the chain locally and architectural state is unaffected. The
+        // quiesce machinery then backs chain generation off on repeats.
+        if self.cfg.liveness.enabled {
+            let lease = self.cfg.liveness.emc_lease;
+            for mc in 0..self.emcs.len() {
+                for ctx in 0..self.cfg.emc.contexts {
+                    if self.emcs[mc].context_chain(ctx).is_some()
+                        && self.now.saturating_sub(self.emc_ctx_progress[mc][ctx]) >= lease
+                    {
+                        self.emcs[mc].force_abort(ctx, AbortReason::LeaseExpired);
+                        // Re-arm the clock so the context is not killed
+                        // again while the abort drains through the ring.
+                        self.emc_ctx_progress[mc][ctx] = self.now;
+                    }
+                }
+            }
         }
         // Fault injection: kill busy contexts mid-chain. The abort rides
         // the normal chain-abort path (home core re-executes locally), so
@@ -1666,6 +1792,7 @@ impl System {
         if results.is_empty() {
             return;
         }
+        self.emc_ctx_progress[mc][ctx] = self.now;
         self.cores[core].stats.chain_live_outs += results.len() as u64;
         let arrive = self.ring.send(
             RingKind::Data,
@@ -1733,6 +1860,7 @@ impl System {
             }
             AbortReason::Disambiguation => {}
             AbortReason::Injected => self.cores[core].stats.chains_aborted_injected += 1,
+            AbortReason::LeaseExpired => self.cores[core].stats.chains_aborted_lease += 1,
         }
         // Graceful degradation: after `quiesce_threshold` consecutive
         // failed chains the EMC quiesces for this core, backing off for
@@ -1860,6 +1988,9 @@ impl System {
                 continue;
             };
             self.emc_ctx_ship[dest_mc][ctx] = Some((start, arrive));
+            // Lease clock starts when the chain reaches the EMC; cycles
+            // in flight on the ring never count against the lease.
+            self.emc_ctx_progress[dest_mc][ctx] = arrive;
             if self.trace.is_enabled() {
                 self.trace.span(
                     TraceTrack::EmcCtx { mc: dest_mc, ctx },
@@ -2171,7 +2302,7 @@ mod tests {
 
     #[test]
     fn watchdog_stays_quiet_while_retirement_advances() {
-        let mut w = Watchdog::new(0, 0);
+        let mut w = Watchdog::new(0, 0, WATCHDOG_INTERVAL, WEDGE_THRESHOLD);
         let mut retired = 0;
         for now in (WATCHDOG_INTERVAL..10 * WEDGE_THRESHOLD).step_by(WATCHDOG_INTERVAL as usize) {
             retired += 1;
@@ -2181,7 +2312,7 @@ mod tests {
 
     #[test]
     fn watchdog_fires_after_threshold_of_zero_retirement() {
-        let mut w = Watchdog::new(0, 42);
+        let mut w = Watchdog::new(0, 42, WATCHDOG_INTERVAL, WEDGE_THRESHOLD);
         let mut fired = None;
         let mut now = 0;
         while fired.is_none() {
@@ -2197,7 +2328,7 @@ mod tests {
 
     #[test]
     fn watchdog_resets_on_any_progress() {
-        let mut w = Watchdog::new(0, 0);
+        let mut w = Watchdog::new(0, 0, WATCHDOG_INTERVAL, WEDGE_THRESHOLD);
         // Stall almost to the threshold, then retire one uop.
         let mut now = 0;
         while now + WATCHDOG_INTERVAL < WEDGE_THRESHOLD {
@@ -2216,7 +2347,7 @@ mod tests {
 
     #[test]
     fn watchdog_checks_are_interval_gated() {
-        let mut w = Watchdog::new(0, 0);
+        let mut w = Watchdog::new(0, 0, WATCHDOG_INTERVAL, WEDGE_THRESHOLD);
         // Off-interval calls never fire, no matter how stalled.
         for now in 1..WATCHDOG_INTERVAL {
             assert_eq!(w.check(now, 0), None);

@@ -42,6 +42,45 @@ fn run_to_completion(faults: FaultPlan, bench: Benchmark, iters: u64) -> (ArchSt
     ((retired, regs, mem), stats)
 }
 
+/// [`run_to_completion`] with a config tweak (liveness thresholds) and
+/// an explicit cycle-cap multiplier: storm scenarios legitimately need
+/// more wall-clock than a clean run, so they get 10× the normal cap and
+/// must still terminate — via liveness escalation, not luck.
+fn run_storm(
+    faults: FaultPlan,
+    tweak: impl FnOnce(&mut SystemConfig),
+    iters: u64,
+    cap_mult: u64,
+) -> (ArchState, Stats) {
+    let mut cfg = SystemConfig::quad_core();
+    cfg.faults = faults;
+    tweak(&mut cfg);
+    let workloads: Vec<_> = (0..4)
+        .map(|i| build(Benchmark::Mcf, 50 + i, iters))
+        .collect();
+    let mut sys = System::new(cfg, workloads).expect("build system");
+    let report = sys.run(u64::MAX, cycle_cap(100_000) * cap_mult);
+    assert_eq!(
+        report.outcome,
+        RunOutcome::Completed,
+        "storm run must still terminate; class {:?}, wedge {:?}",
+        report.class,
+        report.wedge
+    );
+    let stats = report.stats;
+    let retired = stats.cores.iter().map(|c| c.retired_uops).collect();
+    let regs = (0..4).map(|c| *sys.core(c).committed_regs()).collect();
+    let mem = (0..4)
+        .flat_map(|c| (0..8).map(move |k| (c, k)))
+        .map(|(c, k)| {
+            sys.core(c)
+                .mem
+                .read_u64(emc_types::Addr(SPILL_BASE + k * 8))
+        })
+        .collect();
+    ((retired, regs, mem), stats)
+}
+
 fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
     (
         0.0..0.05f64,  // ring_delay_prob
@@ -137,6 +176,72 @@ fn emc_kill_storm_degrades_gracefully() {
     assert!(
         quiesces > 0,
         "consecutive kills never triggered a quiesce: {injected} kills"
+    );
+}
+
+#[test]
+fn backpressure_storm_terminates_via_escalation() {
+    // Frequent long backpressure storms shrink the MC queue to a
+    // quarter and bounce everything else to the retry path. With the
+    // escalation age tightened below the storm length, aged requests
+    // must escalate (the counter proves the mechanism fired), the run
+    // must complete inside 10× the normal cap, and the storm must stay
+    // architecturally invisible.
+    let plan = FaultPlan {
+        enabled: true,
+        mc_storm_prob: 0.005,
+        mc_storm_cycles: 300,
+        ..FaultPlan::default()
+    };
+    let (state, stats) = run_storm(plan, |cfg| cfg.liveness.mc_escalation_age = 256, 120, 10);
+    assert_eq!(&state, baseline(), "storm changed architectural state");
+    assert!(
+        stats.mem.backpressure_storms > 0,
+        "storm plan never stormed: {:?}",
+        stats.mem
+    );
+    assert!(
+        stats.mem.escalated_requests > 0,
+        "no request escalated under sustained storms: {:?}",
+        stats.mem
+    );
+}
+
+#[test]
+fn combined_storm_with_short_lease_terminates() {
+    // Everything at once: backpressure storms, chain kills, ring
+    // delays, ECC re-issues — plus a lease short enough that stalled
+    // EMC contexts are reclaimed rather than waited out. Termination
+    // must come from the liveness layer (escalations observed), and the
+    // re-executed chains must leave architectural state untouched.
+    let plan = FaultPlan {
+        enabled: true,
+        ring_delay_prob: 0.05,
+        ring_delay_cycles: 32,
+        dram_reissue_prob: 0.02,
+        dram_reissue_penalty: 200,
+        emc_kill_prob: 0.01,
+        mc_storm_prob: 0.003,
+        mc_storm_cycles: 300,
+    };
+    let (state, stats) = run_storm(
+        plan,
+        |cfg| {
+            cfg.liveness.mc_escalation_age = 256;
+            cfg.liveness.emc_lease = 1_500;
+        },
+        120,
+        10,
+    );
+    assert_eq!(
+        &state,
+        baseline(),
+        "combined storm changed architectural state"
+    );
+    assert!(
+        stats.mem.escalated_requests > 0,
+        "no request escalated under the combined storm: {:?}",
+        stats.mem
     );
 }
 

@@ -44,6 +44,19 @@ impl PrefetcherKind {
             PrefetcherKind::Stride => "Stride",
         }
     }
+
+    /// Inverse of [`label`](Self::label), used when decoding canonical
+    /// config documents (see [`codec`](crate::codec)).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "No-PF" => Some(PrefetcherKind::None),
+            "GHB" => Some(PrefetcherKind::Ghb),
+            "Stream" => Some(PrefetcherKind::Stream),
+            "Markov+Stream" => Some(PrefetcherKind::MarkovStream),
+            "Stride" => Some(PrefetcherKind::Stride),
+            _ => None,
+        }
+    }
 }
 
 /// Core pipeline parameters (Table 1: 4-wide issue, 256-entry ROB,
@@ -428,6 +441,108 @@ impl FaultPlan {
     }
 }
 
+fn default_true() -> bool {
+    true
+}
+
+fn default_mc_escalation_age() -> u64 {
+    8_192
+}
+
+fn default_emc_lease() -> u64 {
+    32_768
+}
+
+fn default_ring_backlog_threshold() -> u64 {
+    1_024
+}
+
+fn default_core_stall_age() -> u64 {
+    250_000
+}
+
+fn default_probe_interval() -> u64 {
+    10_000
+}
+
+/// Forward-progress (liveness) enforcement and diagnosis parameters.
+///
+/// Two mechanisms actively guarantee progress — memory-queue aging
+/// (escalation past row-hit preference once a request has waited
+/// `mc_escalation_age` cycles) and EMC context leases (a shipped chain
+/// making no progress for `emc_lease` cycles is deterministically killed
+/// and re-executed at the core). The remaining thresholds only classify
+/// an already-stalled run for the wedge root-cause report; they never
+/// change simulated behaviour.
+///
+/// Both mechanisms are timing-only and architecturally invisible: they
+/// reorder or re-execute work through existing paths, never drop it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LivenessConfig {
+    /// Master switch for aging and leases (probes always run).
+    #[serde(default = "default_true")]
+    pub enabled: bool,
+    /// Memory-queue age (cycles) at which a request escalates ahead of
+    /// row-hit preference and batch boundaries.
+    #[serde(default = "default_mc_escalation_age")]
+    pub mc_escalation_age: u64,
+    /// Cycles an occupied EMC context may go without a progress event
+    /// (ship arrival, source delivery, load completion, result drain)
+    /// before its chain is killed and re-executed at the core.
+    #[serde(default = "default_emc_lease")]
+    pub emc_lease: u64,
+    /// Ring link backlog (cycles of queued occupancy) the classifier
+    /// treats as pathological backpressure.
+    #[serde(default = "default_ring_backlog_threshold")]
+    pub ring_backlog_threshold: u64,
+    /// Cycles since last retirement beyond which the classifier deems a
+    /// core deadlocked rather than slow.
+    #[serde(default = "default_core_stall_age")]
+    pub core_stall_age: u64,
+    /// Cadence (cycles) of the watchdog's liveness probe sampling.
+    #[serde(default = "default_probe_interval")]
+    pub probe_interval: u64,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            enabled: default_true(),
+            mc_escalation_age: default_mc_escalation_age(),
+            emc_lease: default_emc_lease(),
+            ring_backlog_threshold: default_ring_backlog_threshold(),
+            core_stall_age: default_core_stall_age(),
+            probe_interval: default_probe_interval(),
+        }
+    }
+}
+
+impl LivenessConfig {
+    /// A disabled configuration: no aging, no leases. Probes and
+    /// classification still run (they are read-only).
+    pub fn disabled() -> Self {
+        LivenessConfig {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Validate threshold sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistent parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && (self.mc_escalation_age == 0 || self.emc_lease == 0) {
+            return Err("liveness thresholds must be > 0 when enabled".into());
+        }
+        if self.probe_interval == 0 {
+            return Err("liveness probe_interval must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -459,6 +574,9 @@ pub struct SystemConfig {
     /// Deterministic timing-fault injection (disabled by default).
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Forward-progress enforcement and diagnosis (enabled by default).
+    #[serde(default)]
+    pub liveness: LivenessConfig,
 }
 
 impl SystemConfig {
@@ -479,6 +597,7 @@ impl SystemConfig {
             seed: 0x00c0_ffee,
             ideal_dependent_hits: false,
             faults: FaultPlan::default(),
+            liveness: LivenessConfig::default(),
         }
     }
 
@@ -561,6 +680,7 @@ impl SystemConfig {
             return Err("core window must be non-empty".into());
         }
         self.faults.validate()?;
+        self.liveness.validate()?;
         Ok(())
     }
 }
@@ -683,21 +803,20 @@ mod tests {
 
     #[test]
     fn fault_plan_serde_round_trip() {
+        use crate::codec::{config_from_json, config_to_json, fault_plan_to_json};
+        use crate::json::JsonValue;
         let cfg = SystemConfig::quad_core().with_faults(FaultPlan::chaos());
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        let json = config_to_json(&cfg).to_json();
+        let back = config_from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, cfg);
         // Configs serialized before the fault layer existed (no
         // `faults` key) still deserialize, with faults disabled.
         let legacy = json.replace(
-            &format!(
-                ",\"faults\":{}",
-                serde_json::to_string(&cfg.faults).unwrap()
-            ),
+            &format!(",\"faults\":{}", fault_plan_to_json(&cfg.faults).to_json()),
             "",
         );
         assert!(!legacy.contains("faults"), "failed to strip faults key");
-        let back: SystemConfig = serde_json::from_str(&legacy).unwrap();
+        let back = config_from_json(&JsonValue::parse(&legacy).unwrap()).unwrap();
         assert_eq!(back.faults, FaultPlan::default());
     }
 

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod codec;
 pub mod config;
 pub mod hist;
 pub mod json;
@@ -38,13 +39,16 @@ pub mod uop;
 
 pub use addr::{physical_line, Addr, LineAddr, PageAddr, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use config::{
-    CacheConfig, CoreConfig, DramConfig, EmcConfig, FaultPlan, PrefetchConfig, PrefetcherKind,
-    RingConfig, SystemConfig,
+    CacheConfig, CoreConfig, DramConfig, EmcConfig, FaultPlan, LivenessConfig, PrefetchConfig,
+    PrefetcherKind, RingConfig, SystemConfig,
 };
 pub use hist::{Histogram, HISTOGRAM_BUCKETS};
 pub use json::{JsonValue, ToJson};
 pub use mem_image::MemoryImage;
-pub use outcome::{RunOutcome, RunReport, WedgeCoreState, WedgeEmcContext, WedgeReport};
+pub use outcome::{
+    LivenessSnapshot, RunOutcome, RunReport, WedgeClass, WedgeCoreState, WedgeEmcContext,
+    WedgeReport,
+};
 pub use program::{Program, StaticUop};
 pub use req::{AccessKind, MemReq, ReqId, ReqTimeline, Requester};
 pub use rng::{seeded_rng, substream};

@@ -56,6 +56,10 @@ pub struct CoreStats {
     pub chains_cancelled_disambiguation: u64,
     /// Chains killed by injected EMC context faults (fault injection).
     pub chains_aborted_injected: u64,
+    /// Chains killed because their EMC context lease expired without
+    /// forward progress (liveness enforcement).
+    #[serde(default)]
+    pub chains_aborted_lease: u64,
     /// Times graceful degradation quiesced chain generation for this
     /// core after consecutive chain failures.
     pub emc_quiesce_events: u64,
@@ -158,6 +162,10 @@ pub struct MemStats {
     pub ecc_reissues: u64,
     /// Injected queue-full backpressure storms started.
     pub backpressure_storms: u64,
+    /// Requests escalated by anti-starvation aging (queue age crossed
+    /// the liveness escalation threshold).
+    #[serde(default)]
+    pub escalated_requests: u64,
 }
 
 impl MemStats {
@@ -439,18 +447,22 @@ mod tests {
 
     #[test]
     fn stats_serde_round_trip() {
+        use crate::codec::{stats_from_json, stats_to_json};
+        use crate::json::JsonValue;
         let mut s = Stats::new(2);
         s.cycles = 123;
         s.cores[0].retired_uops = 77;
         s.cores[0].record_chain_length(5);
         s.mem.core_miss_latency.record(300);
+        s.mem.escalated_requests = 2;
         s.emc.chains_executed = 9;
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: Stats = serde_json::from_str(&json).expect("deserialize");
+        let json = stats_to_json(&s).to_json();
+        let back = stats_from_json(&JsonValue::parse(&json).expect("parse")).expect("decode");
         assert_eq!(back.cycles, 123);
         assert_eq!(back.cores[0].retired_uops, 77);
         assert_eq!(back.cores[0].chain_length_hist[5], 1);
         assert_eq!(back.mem.core_miss_latency.sum, 300);
+        assert_eq!(back.mem.escalated_requests, 2);
         assert_eq!(back.emc.chains_executed, 9);
     }
 
