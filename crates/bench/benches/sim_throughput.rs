@@ -65,6 +65,22 @@ fn bench_observability_tax(c: &mut Criterion) {
             std::hint::black_box(report)
         });
     });
+    // The host-side phase profiler at its default stride: like tracing,
+    // it must neither perturb results nor separate visibly from the
+    // disabled bar.
+    g.bench_function("profiler_enabled", |b| {
+        b.iter(|| {
+            let mut sys = build_system(SystemConfig::quad_core(), &[bench, bench, bench, bench])
+                .expect("build system");
+            sys.enable_profiling(emc_sim::DEFAULT_PROFILE_STRIDE);
+            let report = sys.run(2_000, cycle_cap(2_000));
+            assert_eq!(
+                report.stats.cycles, baseline.stats.cycles,
+                "profiling perturbed the simulation"
+            );
+            std::hint::black_box(report)
+        });
+    });
     g.finish();
 }
 

@@ -1,0 +1,123 @@
+//! Host-performance trajectory bin: run the pinned fig12 quad grid
+//! and write a `BENCH_<git-sha>.json` (`emc-bench-v1`) artifact.
+//!
+//! ```text
+//! cargo run --release -p emc-bench --bin perf -- [--budget N] [--stride N]
+//!     [--mix NAME] [--out PATH]
+//! ```
+//!
+//! Defaults: budget 10000 uops/core, profile stride 64, mix H4, output
+//! `BENCH_<sha>.json` in the current directory. See EXPERIMENTS.md
+//! ("Perf trajectory") for the per-PR recording protocol.
+
+use emc_bench::alloc::CountingAlloc;
+use emc_bench::config_grid;
+use emc_bench::perf::{
+    git_sha, measure_cell, measure_tax, perf_doc, validate_bench_doc, DEFAULT_PERF_BUDGET,
+    DEFAULT_PERF_MIX,
+};
+use emc_sim::DEFAULT_PROFILE_STRIDE;
+use emc_types::SystemConfig;
+use emc_workloads::mix_by_name;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--budget N] [--stride N] [--mix NAME] [--out PATH]\n\
+         \n\
+         Measures host throughput (cycles/sec), the per-phase profile, and\n\
+         allocation churn over the fig12 quad grid, then writes an\n\
+         emc-bench-v1 JSON artifact (default BENCH_<git-sha>.json)."
+    );
+    std::process::exit(2)
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("perf: {flag} needs a valid value");
+        usage()
+    })
+}
+
+fn main() {
+    let mut budget = DEFAULT_PERF_BUDGET;
+    let mut stride = DEFAULT_PROFILE_STRIDE;
+    let mut mix_name = DEFAULT_PERF_MIX.to_string();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => budget = parse_value("--budget", args.next()),
+            "--stride" => stride = parse_value("--stride", args.next()),
+            "--mix" => mix_name = parse_value("--mix", args.next()),
+            "--out" => out = Some(parse_value("--out", args.next())),
+            _ => usage(),
+        }
+    }
+    let Some(mix) = mix_by_name(&mix_name) else {
+        eprintln!("perf: unknown mix {mix_name:?}");
+        std::process::exit(2);
+    };
+    let sha = git_sha();
+    let out = out.unwrap_or_else(|| format!("BENCH_{sha}.json"));
+
+    // Warm the page cache / branch predictors once so the first grid
+    // cell is not systematically slower than the rest.
+    let _ = measure_cell(SystemConfig::quad_core(), &mix, budget.min(2_000), 0);
+
+    // Cells run sequentially: this artifact measures single-thread host
+    // throughput, and concurrent cells would contend for cache/DRAM.
+    let grid = config_grid(SystemConfig::quad_core());
+    let cells: Vec<_> = grid
+        .into_iter()
+        .map(|cfg| {
+            let cell = measure_cell(cfg, &mix, budget, stride);
+            eprintln!(
+                "  {:<12} {:>7.2} Mcycles/s  {:>6.2} Muops/s  {:>6.1} allocs/kcyc",
+                cell.config,
+                cell.cycles_per_sec / 1e6,
+                cell.uops_per_sec / 1e6,
+                cell.alloc.allocs_per_kilocycle(cell.cycles),
+            );
+            cell
+        })
+        .collect();
+
+    let tax = measure_tax(SystemConfig::quad_core(), &mix, budget, stride);
+    let doc = perf_doc(&sha, &mix_name, budget, stride, &cells, &tax);
+    if let Err(e) = validate_bench_doc(&doc) {
+        eprintln!("perf: produced invalid document: {e}");
+        std::process::exit(1);
+    }
+    let mut text = doc.to_json_pretty();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("perf: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    let slowest = cells
+        .iter()
+        .min_by(|a, b| a.cycles_per_sec.total_cmp(&b.cycles_per_sec))
+        .expect("grid is non-empty");
+    eprintln!(
+        "observability tax at stride {stride}: {:+.2}% (baseline {:.2} Mcycles/s)",
+        tax.delta_frac() * 100.0,
+        tax.baseline_cycles_per_sec / 1e6,
+    );
+    eprintln!(
+        "slowest cell {} at {:.2} Mcycles/s; hottest phase {}",
+        slowest.config,
+        slowest.cycles_per_sec / 1e6,
+        slowest
+            .profile
+            .phases
+            .iter()
+            .max_by_key(|p| p.nanos)
+            .map(|p| p.name)
+            .unwrap_or("n/a"),
+    );
+    println!("{out}");
+}

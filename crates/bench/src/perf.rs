@@ -1,0 +1,343 @@
+//! The host-performance harness behind the `perf` bin: measure how
+//! fast the simulator runs the pinned fig12 quad grid and emit a
+//! versioned `emc-bench-v1` trajectory artifact.
+//!
+//! ROADMAP item 1 demands a tracked `BENCH_<git-sha>.json` at the repo
+//! root so every perf PR can show its before/after. One document
+//! contains, per quad-grid cell (4 prefetchers × EMC on/off on the
+//! pinned mix): simulated cycles per host second, retired uops per
+//! second, the [`ProfileReport`] phase breakdown, and the allocation
+//! churn seen by [`crate::alloc`]. A final `observability_tax` entry
+//! runs the base cell twice — profiler off, then on — so the artifact
+//! carries the measured cost of its own instrumentation.
+//!
+//! Everything here is library code so the schema can be tested: the
+//! bin only parses flags and installs the counting allocator.
+//! EXPERIMENTS.md ("Perf trajectory") documents the recording
+//! protocol; the CI `bench-smoke` job validates every build against
+//! [`validate_bench_doc`] and a committed reference point.
+
+use std::process::Command;
+
+use emc_sim::{build_system, cycle_cap, ProfileReport, ThroughputMeter};
+use emc_types::{JsonValue, SystemConfig};
+use emc_workloads::Benchmark;
+
+use crate::alloc::{counters, AllocCounters};
+
+/// Schema tag stamped into every perf artifact.
+pub const BENCH_SCHEMA: &str = "emc-bench-v1";
+
+/// Default per-core retired-uop budget per cell. Large enough that a
+/// release build amortizes startup, small enough that all 8 cells plus
+/// the tax A/B finish in seconds.
+pub const DEFAULT_PERF_BUDGET: u64 = 10_000;
+
+/// Default workload mix for the grid (H4: the paper's headline
+/// heterogeneous mix, also the `fig12_quadcore` criterion pin).
+pub const DEFAULT_PERF_MIX: &str = "H4";
+
+/// The short git SHA naming the measured tree: `EMC_GIT_SHA` when set
+/// (CI provenance), else `git rev-parse --short=12 HEAD`, else
+/// `"unknown"` (e.g. a source tarball without git).
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("EMC_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Display label for one grid cell ("GHB+EMC", "No-PF", ...).
+pub fn config_label(cfg: &SystemConfig) -> String {
+    if cfg.emc.enabled {
+        format!("{}+EMC", cfg.prefetcher.label())
+    } else {
+        cfg.prefetcher.label().to_string()
+    }
+}
+
+/// One quad-grid cell's host-performance measurement.
+#[derive(Debug, Clone)]
+pub struct CellPerf {
+    /// Cell label from [`config_label`].
+    pub config: String,
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// Whether the EMC was enabled.
+    pub emc: bool,
+    /// How the run ended ("completed", "wedged", "cap-hit").
+    pub outcome: String,
+    /// Simulated cycles executed.
+    pub cycles: u64,
+    /// Retired uops, summed over cores.
+    pub retired_uops: u64,
+    /// Host wall time for the run, nanoseconds.
+    pub wall_nanos: u64,
+    /// Simulated cycles per host second.
+    pub cycles_per_sec: f64,
+    /// Retired uops per host second.
+    pub uops_per_sec: f64,
+    /// Host-side phase breakdown (stride-sampled).
+    pub profile: ProfileReport,
+    /// Allocation churn during the run (zeros unless the counting
+    /// allocator is installed, i.e. outside the `perf` bin).
+    pub alloc: AllocCounters,
+}
+
+/// Simulate one cell and measure the host: wall time, throughput,
+/// phase breakdown (at `stride`; 0 = profiler off), allocation churn.
+///
+/// # Panics
+///
+/// Panics if the system cannot be built (mismatched workload count or
+/// invalid config) — perf cells are pinned configs, so that is a bug.
+pub fn measure_cell(
+    cfg: SystemConfig,
+    benches: &[Benchmark],
+    budget: u64,
+    stride: u32,
+) -> CellPerf {
+    let config = config_label(&cfg);
+    let prefetcher = cfg.prefetcher.label().to_string();
+    let emc = cfg.emc.enabled;
+    let mut sys = build_system(cfg, benches).unwrap_or_else(|e| panic!("perf cell: {e}"));
+    if stride > 0 {
+        sys.enable_profiling(stride);
+    }
+    let alloc_before = counters();
+    let meter = ThroughputMeter::new();
+    let report = sys.run(budget, cycle_cap(budget));
+    let retired: u64 = report.stats.cores.iter().map(|c| c.retired_uops).sum();
+    let throughput = meter.finish(report.stats.cycles, retired);
+    let alloc = counters().since(alloc_before);
+    CellPerf {
+        config,
+        prefetcher,
+        emc,
+        outcome: emc_sim::metrics::outcome_label(report.outcome).to_string(),
+        cycles: report.stats.cycles,
+        retired_uops: retired,
+        wall_nanos: throughput.wall_nanos,
+        cycles_per_sec: throughput.cycles_per_sec(),
+        uops_per_sec: throughput.uops_per_sec(),
+        profile: sys.profile_report(),
+        alloc,
+    }
+}
+
+/// The measured cost of the profiler itself: the same cell run with
+/// profiling off, then on.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservabilityTax {
+    /// Cycles/sec with the profiler off (the true baseline).
+    pub baseline_cycles_per_sec: f64,
+    /// Cycles/sec with the profiler on at the artifact's stride.
+    pub profiled_cycles_per_sec: f64,
+}
+
+impl ObservabilityTax {
+    /// Fractional slowdown: 0.02 = profiling cost 2% of throughput.
+    /// Negative values are measurement noise (the profiled run was
+    /// faster) and read as zero cost.
+    pub fn delta_frac(&self) -> f64 {
+        if self.profiled_cycles_per_sec <= 0.0 {
+            return 0.0;
+        }
+        self.baseline_cycles_per_sec / self.profiled_cycles_per_sec - 1.0
+    }
+}
+
+/// Measure the [`ObservabilityTax`] on one pinned cell (profiler off
+/// vs. on at `stride`).
+pub fn measure_tax(
+    cfg: SystemConfig,
+    benches: &[Benchmark],
+    budget: u64,
+    stride: u32,
+) -> ObservabilityTax {
+    let off = measure_cell(cfg.clone(), benches, budget, 0);
+    let on = measure_cell(cfg, benches, budget, stride);
+    ObservabilityTax {
+        baseline_cycles_per_sec: off.cycles_per_sec,
+        profiled_cycles_per_sec: on.cycles_per_sec,
+    }
+}
+
+fn cell_json(c: &CellPerf) -> JsonValue {
+    JsonValue::obj(vec![
+        ("config", c.config.as_str().into()),
+        ("prefetcher", c.prefetcher.as_str().into()),
+        ("emc", c.emc.into()),
+        ("outcome", c.outcome.as_str().into()),
+        ("cycles", c.cycles.into()),
+        ("retired_uops", c.retired_uops.into()),
+        ("wall_nanos", c.wall_nanos.into()),
+        ("cycles_per_sec", c.cycles_per_sec.into()),
+        ("uops_per_sec", c.uops_per_sec.into()),
+        ("profile", c.profile.to_json()),
+        (
+            "alloc",
+            JsonValue::obj(vec![
+                ("allocs", c.alloc.allocs.into()),
+                ("frees", c.alloc.frees.into()),
+                ("bytes", c.alloc.bytes.into()),
+                (
+                    "allocs_per_kilocycle",
+                    c.alloc.allocs_per_kilocycle(c.cycles).into(),
+                ),
+                (
+                    "bytes_per_kilocycle",
+                    c.alloc.bytes_per_kilocycle(c.cycles).into(),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Assemble the full `emc-bench-v1` document.
+pub fn perf_doc(
+    git_sha: &str,
+    mix: &str,
+    budget: u64,
+    stride: u32,
+    cells: &[CellPerf],
+    tax: &ObservabilityTax,
+) -> JsonValue {
+    let wall: u64 = cells.iter().map(|c| c.wall_nanos).sum();
+    let cycles: u64 = cells.iter().map(|c| c.cycles).sum();
+    let uops: u64 = cells.iter().map(|c| c.retired_uops).sum();
+    let secs = wall as f64 / 1e9;
+    let (cps, ups) = if wall > 0 {
+        (cycles as f64 / secs, uops as f64 / secs)
+    } else {
+        (0.0, 0.0)
+    };
+    JsonValue::obj(vec![
+        ("schema", BENCH_SCHEMA.into()),
+        ("git_sha", git_sha.into()),
+        ("suite", "fig12-quad-grid".into()),
+        ("mix", mix.into()),
+        ("budget", budget.into()),
+        ("profile_stride", u64::from(stride).into()),
+        (
+            "cells",
+            JsonValue::Arr(cells.iter().map(cell_json).collect()),
+        ),
+        (
+            "totals",
+            JsonValue::obj(vec![
+                ("wall_nanos", wall.into()),
+                ("cycles", cycles.into()),
+                ("retired_uops", uops.into()),
+                ("cycles_per_sec", cps.into()),
+                ("uops_per_sec", ups.into()),
+            ]),
+        ),
+        (
+            "observability_tax",
+            JsonValue::obj(vec![
+                (
+                    "baseline_cycles_per_sec",
+                    tax.baseline_cycles_per_sec.into(),
+                ),
+                (
+                    "profiled_cycles_per_sec",
+                    tax.profiled_cycles_per_sec.into(),
+                ),
+                ("delta_frac", tax.delta_frac().into()),
+            ]),
+        ),
+    ])
+}
+
+fn req_num(v: &JsonValue, ctx: &str, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .filter(|n| n.is_finite())
+        .ok_or_else(|| format!("{ctx}: missing or non-finite {key:?}"))
+}
+
+/// Structural validation of an `emc-bench-v1` document, including the
+/// physical invariant the schema promises: per-phase wall-times are
+/// non-negative and sum to at most the cell's total wall time (sampled
+/// phase intervals are disjoint sub-intervals of the run).
+pub fn validate_bench_doc(doc: &JsonValue) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BENCH_SCHEMA:?}"));
+    }
+    if doc
+        .get("git_sha")
+        .and_then(|v| v.as_str())
+        .is_none_or(str::is_empty)
+    {
+        return Err("missing git_sha".into());
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing cells")?;
+    if cells.is_empty() {
+        return Err("no cells measured".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("cells[{i}]");
+        let wall = req_num(cell, &ctx, "wall_nanos")?;
+        let cps = req_num(cell, &ctx, "cycles_per_sec")?;
+        if wall <= 0.0 || cps <= 0.0 {
+            return Err(format!("{ctx}: non-positive wall_nanos/cycles_per_sec"));
+        }
+        req_num(cell, &ctx, "cycles")?;
+        let alloc = cell
+            .get("alloc")
+            .ok_or_else(|| format!("{ctx}: no alloc"))?;
+        for key in ["allocs", "bytes", "allocs_per_kilocycle"] {
+            if req_num(alloc, &ctx, key)? < 0.0 {
+                return Err(format!("{ctx}: negative alloc {key}"));
+            }
+        }
+        let phases = cell
+            .get("profile")
+            .and_then(|p| p.get("phases"))
+            .and_then(|p| p.as_arr())
+            .ok_or_else(|| format!("{ctx}: no profile.phases"))?;
+        let mut phase_sum = 0.0f64;
+        for (j, phase) in phases.iter().enumerate() {
+            let pctx = format!("{ctx}.phases[{j}]");
+            if phase
+                .get("phase")
+                .and_then(|v| v.as_str())
+                .is_none_or(str::is_empty)
+            {
+                return Err(format!("{pctx}: unnamed phase"));
+            }
+            let nanos = req_num(phase, &pctx, "nanos")?;
+            if nanos < 0.0 {
+                return Err(format!("{pctx}: negative wall-time"));
+            }
+            phase_sum += nanos;
+        }
+        if phase_sum > wall {
+            return Err(format!(
+                "{ctx}: phase nanos sum {phase_sum} exceeds run wall {wall}"
+            ));
+        }
+    }
+    let tax = doc.get("observability_tax").ok_or("no observability_tax")?;
+    if req_num(tax, "observability_tax", "baseline_cycles_per_sec")? <= 0.0 {
+        return Err("observability_tax: non-positive baseline".into());
+    }
+    req_num(tax, "observability_tax", "profiled_cycles_per_sec")?;
+    req_num(tax, "observability_tax", "delta_frac")?;
+    Ok(())
+}

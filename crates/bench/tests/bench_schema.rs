@@ -1,0 +1,166 @@
+//! Schema tests for the `emc-bench-v1` perf artifact: round-trip
+//! through the hand-rolled `emc_types::json` parser, plus property
+//! tests of the document invariant the schema promises — per-phase
+//! wall-times are non-negative and sum to at most the cell's total run
+//! wall-time.
+
+use emc_bench::alloc::AllocCounters;
+use emc_bench::perf::{
+    measure_cell, measure_tax, perf_doc, validate_bench_doc, CellPerf, ObservabilityTax,
+    BENCH_SCHEMA,
+};
+use emc_sim::{Phase, TickProfiler};
+use emc_types::{JsonValue, SystemConfig};
+use emc_workloads::mix_by_name;
+use proptest::prelude::*;
+
+/// A cell built from explicit numbers (no simulation): `phase_nanos`
+/// feed the profiler via its test-support `record` hook.
+fn synthetic_cell(phase_nanos: [u64; 7], wall_nanos: u64) -> CellPerf {
+    let mut profiler = TickProfiler::with_stride(1);
+    profiler.begin_tick();
+    for (phase, nanos) in Phase::ALL.into_iter().zip(phase_nanos) {
+        profiler.record(phase, nanos);
+    }
+    let secs = wall_nanos as f64 / 1e9;
+    CellPerf {
+        config: "GHB+EMC".into(),
+        prefetcher: "GHB".into(),
+        emc: true,
+        outcome: "completed".into(),
+        cycles: 40_000,
+        retired_uops: 8_000,
+        wall_nanos,
+        cycles_per_sec: if secs > 0.0 { 40_000.0 / secs } else { 0.0 },
+        uops_per_sec: if secs > 0.0 { 8_000.0 / secs } else { 0.0 },
+        profile: profiler.report(),
+        alloc: AllocCounters {
+            allocs: 120,
+            frees: 110,
+            bytes: 64_000,
+        },
+    }
+}
+
+fn tax() -> ObservabilityTax {
+    ObservabilityTax {
+        baseline_cycles_per_sec: 1.0e6,
+        profiled_cycles_per_sec: 0.98e6,
+    }
+}
+
+#[test]
+fn doc_round_trips_through_hand_rolled_parser() {
+    let cells = vec![
+        synthetic_cell([10, 20, 30, 40, 50, 60, 70], 1_000),
+        synthetic_cell([0, 0, 0, 0, 0, 0, 0], 500),
+    ];
+    let doc = perf_doc("abc123def456", "H4", 10_000, 64, &cells, &tax());
+    validate_bench_doc(&doc).expect("generated doc is valid");
+
+    // Compact and pretty forms both parse back to the same structure.
+    let back = JsonValue::parse(&doc.to_json()).expect("compact parses");
+    assert_eq!(back, doc, "compact round-trip is lossless");
+    let back = JsonValue::parse(&doc.to_json_pretty()).expect("pretty parses");
+    assert_eq!(back, doc, "pretty round-trip is lossless");
+
+    assert_eq!(
+        back.get("schema").and_then(|v| v.as_str()),
+        Some(BENCH_SCHEMA)
+    );
+    assert_eq!(
+        back.get("cells").and_then(|c| c.as_arr()).map(<[_]>::len),
+        Some(2)
+    );
+}
+
+#[test]
+fn validator_rejects_structural_breakage() {
+    let cells = vec![synthetic_cell([1, 2, 3, 4, 5, 6, 7], 100)];
+    let good = perf_doc("sha", "H4", 1_000, 64, &cells, &tax());
+
+    let mut wrong_schema = good.clone();
+    if let JsonValue::Obj(pairs) = &mut wrong_schema {
+        pairs[0].1 = "emc-bench-v0".into();
+    }
+    assert!(validate_bench_doc(&wrong_schema).is_err(), "schema tag");
+
+    let empty = perf_doc("sha", "H4", 1_000, 64, &[], &tax());
+    assert!(validate_bench_doc(&empty).is_err(), "no cells");
+
+    // Phase nanos exceeding the run wall violate the core invariant.
+    let impossible = vec![synthetic_cell([50, 50, 50, 0, 0, 0, 0], 100)];
+    let doc = perf_doc("sha", "H4", 1_000, 64, &impossible, &tax());
+    let e = validate_bench_doc(&doc).expect_err("sum 150 > wall 100");
+    assert!(e.contains("exceeds run wall"), "got: {e}");
+}
+
+#[test]
+fn measured_cell_satisfies_the_schema() {
+    // One real (tiny) simulation through the full pipeline: the doc it
+    // produces validates, i.e. the profiler's sampled phase intervals
+    // really are disjoint sub-intervals of the measured run.
+    let mix = mix_by_name("H4").expect("pinned mix exists");
+    let cell = measure_cell(SystemConfig::quad_core(), &mix, 300, 4);
+    let phase_sum: u64 = cell.profile.phases.iter().map(|p| p.nanos).sum();
+    assert!(cell.wall_nanos > 0);
+    assert!(
+        phase_sum <= cell.wall_nanos,
+        "phase sum {phase_sum} within wall {}",
+        cell.wall_nanos
+    );
+    let t = measure_tax(SystemConfig::quad_core(), &mix, 300, 4);
+    let doc = perf_doc("test-sha", "H4", 300, 4, &[cell], &t);
+    validate_bench_doc(&doc).expect("real measurement validates");
+}
+
+proptest! {
+    /// For any phase timings whose sum fits under the wall, the doc is
+    /// valid, every serialized phase nano is non-negative, and the
+    /// parsed doc equals the original (the hand-rolled writer/parser
+    /// pair is lossless for schema documents).
+    #[test]
+    fn phase_times_nonnegative_and_bounded_by_wall(
+        nanos_vec in prop::collection::vec(0u64..200_000, 7),
+        slack in 0u64..1_000_000,
+    ) {
+        let nanos: [u64; 7] = nanos_vec.try_into().expect("exactly 7");
+        let sum: u64 = nanos.iter().sum();
+        let wall = (sum + slack).max(1);
+        let cells = vec![synthetic_cell(nanos, wall)];
+        let doc = perf_doc("sha", "H4", 1_000, 64, &cells, &tax());
+        prop_assert!(validate_bench_doc(&doc).is_ok());
+
+        let parsed = JsonValue::parse(&doc.to_json()).expect("parses");
+        prop_assert_eq!(&parsed, &doc);
+        let phases = parsed
+            .get("cells").and_then(|c| c.idx(0))
+            .and_then(|c| c.get("profile"))
+            .and_then(|p| p.get("phases"))
+            .and_then(|p| p.as_arr())
+            .expect("phases present");
+        let mut total = 0.0f64;
+        for p in phases {
+            let n = p.get("nanos").and_then(|v| v.as_f64()).expect("nanos");
+            prop_assert!(n >= 0.0);
+            total += n;
+        }
+        prop_assert!(total <= wall as f64);
+    }
+
+    /// Timings that overflow the wall always fail validation: the
+    /// invariant is enforced, not just documented.
+    #[test]
+    fn overflowing_phase_times_are_rejected(
+        nanos_vec in prop::collection::vec(1u64..200_000, 7),
+        deficit in 1u64..500,
+    ) {
+        let nanos: [u64; 7] = nanos_vec.try_into().expect("exactly 7");
+        let sum: u64 = nanos.iter().sum();
+        let wall = sum.saturating_sub(deficit).max(1);
+        prop_assume!(wall < sum);
+        let cells = vec![synthetic_cell(nanos, wall)];
+        let doc = perf_doc("sha", "H4", 1_000, 64, &cells, &tax());
+        prop_assert!(validate_bench_doc(&doc).is_err());
+    }
+}

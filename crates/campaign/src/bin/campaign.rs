@@ -236,6 +236,28 @@ fn cmd_status(args: Args) {
     }
 }
 
+/// "p50 120ms · p95 340ms · 0.61 Mcyc/s median" from the measured rows
+/// of a manifest slice, or `None` if nothing was ever executed (e.g. a
+/// manifest written before host-perf landed).
+fn host_perf_line(entries: &[emc_campaign::ManifestEntry]) -> Option<String> {
+    let mut wall_ms = emc_types::Histogram::new();
+    let mut cps = emc_types::Histogram::new();
+    for e in entries.iter().filter(|e| e.sim_cycles > 0) {
+        wall_ms.record(e.wall_ms);
+        cps.record(e.cycles_per_sec() as u64);
+    }
+    if wall_ms.count == 0 {
+        return None;
+    }
+    Some(format!(
+        "host p50 {}ms · p95 {}ms · {:.2} Mcyc/s median ({} measured)",
+        wall_ms.p50(),
+        wall_ms.p95(),
+        cps.p50() as f64 / 1e6,
+        wall_ms.count,
+    ))
+}
+
 fn cmd_stats(args: Args) {
     let cache = ResultCache::new(&args.cache_dir);
     println!(
@@ -244,22 +266,31 @@ fn cmd_stats(args: Args) {
         cache.entry_count(),
         emc_campaign::code_fingerprint()
     );
+    let mut all_entries = Vec::new();
     let manifests = std::path::Path::new(&args.cache_dir).join("manifests");
     if let Ok(rd) = std::fs::read_dir(&manifests) {
-        for f in rd.flatten() {
-            let path = f.path();
+        let mut paths: Vec<_> = rd.flatten().map(|f| f.path()).collect();
+        paths.sort();
+        for path in paths {
             if path.extension().is_some_and(|x| x == "json") {
                 if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
                     if let Some(m) = Manifest::load(std::path::Path::new(&args.cache_dir), stem) {
+                        let perf = host_perf_line(&m.entries)
+                            .map(|l| format!(" · {l}"))
+                            .unwrap_or_default();
                         println!(
-                            "  manifest {stem}: {}/{} done",
+                            "  manifest {stem}: {}/{} done{perf}",
                             m.done_count(),
                             m.entries.len()
                         );
+                        all_entries.extend(m.entries);
                     }
                 }
             }
         }
+    }
+    if let Some(l) = host_perf_line(&all_entries) {
+        println!("  all manifests: {l}");
     }
 }
 

@@ -181,6 +181,28 @@ pub struct JobRecord {
     pub attempts: u32,
     /// The result, when the job completed or hit.
     pub result: Option<RunResult>,
+    /// Host wall-clock spent resolving this job (includes cache lookup
+    /// and retries; microseconds for hits, the full simulation for
+    /// executions).
+    pub wall: Duration,
+}
+
+impl JobRecord {
+    /// Simulated cycles this record carries (0 when unresolved).
+    pub fn sim_cycles(&self) -> u64 {
+        self.result.as_ref().map_or(0, |r| r.stats.cycles)
+    }
+
+    /// Host throughput while resolving: simulated cycles per second.
+    /// Only meaningful for executed jobs — a cache hit's "throughput"
+    /// measures deserialization, not simulation.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.sim_cycles() as f64 / secs
+    }
 }
 
 /// Everything a finished campaign run knows about itself.
@@ -270,8 +292,26 @@ impl CampaignReport {
         acc
     }
 
+    /// Host-perf distributions over the jobs *executed* this run:
+    /// per-job wall milliseconds and simulated cycles per host second.
+    /// Both empty when everything came from the cache.
+    pub fn host_perf(&self) -> (Histogram, Histogram) {
+        let mut wall_ms = Histogram::new();
+        let mut cps = Histogram::new();
+        for r in self
+            .records
+            .iter()
+            .filter(|r| r.source == JobSource::Executed)
+        {
+            wall_ms.record(r.wall.as_millis() as u64);
+            cps.record(r.cycles_per_sec() as u64);
+        }
+        (wall_ms, cps)
+    }
+
     /// The report as a JSON document (`emc-campaign-report-v1`).
     pub fn to_json(&self) -> JsonValue {
+        let (wall_ms, cps) = self.host_perf();
         JsonValue::obj(vec![
             ("schema", REPORT_SCHEMA.into()),
             ("name", self.name.as_str().into()),
@@ -282,6 +322,13 @@ impl CampaignReport {
             ("unresolved", (self.unresolved() as u64).into()),
             ("hit_rate", self.hit_rate().into()),
             ("wall_ms", (self.wall.as_millis() as u64).into()),
+            (
+                "host_perf",
+                JsonValue::obj(vec![
+                    ("job_wall_ms", hist_summary_json(&wall_ms)),
+                    ("job_cycles_per_sec", hist_summary_json(&cps)),
+                ]),
+            ),
             (
                 "jobs",
                 JsonValue::Arr(
@@ -294,6 +341,8 @@ impl CampaignReport {
                                 ("source", r.source.as_str().into()),
                                 ("outcome", r.outcome.as_str().into()),
                                 ("attempts", (r.attempts as u64).into()),
+                                ("wall_ms", (r.wall.as_millis() as u64).into()),
+                                ("cycles_per_sec", r.cycles_per_sec().into()),
                             ])
                         })
                         .collect(),
@@ -341,7 +390,9 @@ impl Campaign {
         let total = self.jobs.len();
 
         let records = parallel_map((0..total).collect::<Vec<usize>>(), opts.workers, |_, &i| {
-            let record = self.resolve_one(i, &keys[i], &prior[i], opts, &fresh);
+            let job_start = Instant::now();
+            let mut record = self.resolve_one(i, &keys[i], &prior[i], opts, &fresh);
+            record.wall = job_start.elapsed();
 
             // Journal the job before reporting progress, so a kill
             // after this line never forgets completed work.
@@ -355,6 +406,13 @@ impl Campaign {
                 };
                 entry.attempts += record.attempts;
                 entry.outcome = record.outcome.clone();
+                // Host-perf is only overwritten by real executions: a
+                // warm re-run's cache hit must not clobber the original
+                // simulation measurement.
+                if record.attempts > 0 {
+                    entry.wall_ms = record.wall.as_millis() as u64;
+                    entry.sim_cycles = record.sim_cycles();
+                }
                 if let Some(cache) = &opts.cache {
                     if let Err(e) = m.save(cache.root()) {
                         eprintln!("# campaign {}: {e}", self.name);
@@ -401,6 +459,7 @@ impl Campaign {
             outcome: String::new(),
             attempts: 0,
             result: None,
+            wall: Duration::ZERO,
         };
 
         if prior.0 == JobStatus::Failed && !opts.retry_failed {
@@ -537,6 +596,18 @@ impl Campaign {
     }
 }
 
+/// Five-number summary of a histogram for report JSON (count, mean,
+/// p50/p95/p99) — the full bucket vector stays out of the report.
+pub fn hist_summary_json(h: &Histogram) -> JsonValue {
+    JsonValue::obj(vec![
+        ("count", h.count.into()),
+        ("mean", h.mean().into()),
+        ("p50", h.p50().into()),
+        ("p95", h.p95().into()),
+        ("p99", h.p99().into()),
+    ])
+}
+
 /// One `\r`-terminated progress line: jobs done, hit count/rate, ETA
 /// extrapolated from throughput so far.
 fn progress_line(name: &str, done: usize, total: usize, hits: usize, elapsed: Duration) {
@@ -603,10 +674,23 @@ mod tests {
         let cold_results = cold.expect_completed();
         assert_eq!(cold_results.len(), 3);
 
+        // Host-perf journaled: every executed row carries its cycles.
+        let m = Manifest::load(&root, "engine-test").expect("manifest");
+        for e in &m.entries {
+            assert!(e.sim_cycles > 0, "{}: execution measured", e.label);
+        }
+        let cold_cycles: Vec<u64> = m.entries.iter().map(|e| e.sim_cycles).collect();
+
         let warm = campaign.run(&opts);
         assert_eq!(warm.hits(), 3, "everything cached");
         assert_eq!(warm.executed(), 0);
         assert!((warm.hit_rate() - 1.0).abs() < 1e-12);
+
+        // The warm run's cache hits must not clobber the execution
+        // measurements (attempts == 0 rows leave host-perf alone).
+        let m = Manifest::load(&root, "engine-test").expect("manifest");
+        let warm_cycles: Vec<u64> = m.entries.iter().map(|e| e.sim_cycles).collect();
+        assert_eq!(cold_cycles, warm_cycles, "hits preserve host-perf");
 
         // Hits reproduce the executed statistics exactly.
         let warm_results = warm.expect_completed();
@@ -686,6 +770,23 @@ mod tests {
                 .and_then(|j| j.get("source"))
                 .and_then(|v| v.as_str()),
             Some("executed")
+        );
+        // Host-perf rides along: one executed job in the distribution,
+        // and the per-job row carries a non-negative throughput.
+        assert_eq!(
+            doc.get("host_perf")
+                .and_then(|h| h.get("job_wall_ms"))
+                .and_then(|h| h.get("count"))
+                .and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        assert!(
+            doc.get("jobs")
+                .and_then(|j| j.idx(0))
+                .and_then(|j| j.get("cycles_per_sec"))
+                .and_then(|v| v.as_f64())
+                .is_some_and(|c| c >= 0.0),
+            "executed job reports throughput"
         );
         let _ = std::fs::remove_dir_all(root);
     }

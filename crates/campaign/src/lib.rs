@@ -41,8 +41,8 @@ pub use codec::{
     stats_from_json, stats_to_json,
 };
 pub use engine::{
-    retry_decision, Campaign, CampaignOptions, CampaignReport, JobRecord, JobSource, RetryDecision,
-    CAP_EXTENSION_FACTOR, REPORT_SCHEMA,
+    hist_summary_json, retry_decision, Campaign, CampaignOptions, CampaignReport, JobRecord,
+    JobSource, RetryDecision, CAP_EXTENSION_FACTOR, REPORT_SCHEMA,
 };
 pub use exec::{default_workers, parallel_map};
 pub use hash::{digest128, digest128_hex};

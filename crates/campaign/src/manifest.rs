@@ -64,6 +64,24 @@ pub struct ManifestEntry {
     pub attempts: u32,
     /// Short outcome note ("completed", "cache-hit", "wedged at ...").
     pub outcome: String,
+    /// Host wall-clock of the last *execution*, milliseconds. Zero for
+    /// rows that never executed; preserved across cache-hit re-runs so
+    /// the measurement survives warm replays.
+    pub wall_ms: u64,
+    /// Simulated cycles of the last execution (with [`Self::wall_ms`],
+    /// gives host cycles/sec per job). Zero when never executed.
+    pub sim_cycles: u64,
+}
+
+impl ManifestEntry {
+    /// Host throughput of the recorded execution, simulated cycles per
+    /// second (0 when the row carries no measurement).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_ms == 0 {
+            return 0.0;
+        }
+        self.sim_cycles as f64 / (self.wall_ms as f64 / 1e3)
+    }
 }
 
 /// The persisted state of one named campaign.
@@ -97,6 +115,8 @@ impl Manifest {
                     status: JobStatus::Pending,
                     attempts: 0,
                     outcome: String::new(),
+                    wall_ms: 0,
+                    sim_cycles: 0,
                 })
                 .collect(),
         }
@@ -174,6 +194,8 @@ impl Manifest {
                                 ("status", e.status.as_str().into()),
                                 ("attempts", (e.attempts as u64).into()),
                                 ("outcome", e.outcome.as_str().into()),
+                                ("wall_ms", e.wall_ms.into()),
+                                ("sim_cycles", e.sim_cycles.into()),
                             ])
                         })
                         .collect(),
@@ -219,6 +241,10 @@ impl Manifest {
                         .ok_or_else(|| format!("jobs[{i}]: bad status"))?,
                     attempts: j.get("attempts").and_then(|v| v.as_f64()).unwrap_or(0.0) as u32,
                     outcome: field("outcome")?.to_string(),
+                    // Absent in pre-host-perf manifests: default to "no
+                    // measurement" rather than rejecting the file.
+                    wall_ms: j.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+                    sim_cycles: j.get("sim_cycles").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -250,6 +276,8 @@ mod tests {
         m.entries[1].status = JobStatus::Done;
         m.entries[1].attempts = 1;
         m.entries[1].outcome = "completed".into();
+        m.entries[1].wall_ms = 250;
+        m.entries[1].sim_cycles = 500_000;
         m.save(&root).unwrap();
 
         let back = Manifest::load(&root, "smoke").expect("load saved manifest");
@@ -257,9 +285,29 @@ mod tests {
         assert_eq!(back.entries.len(), 3);
         assert_eq!(back.entries[1].status, JobStatus::Done);
         assert_eq!(back.entries[1].attempts, 1);
+        assert_eq!(back.entries[1].wall_ms, 250);
+        assert_eq!(back.entries[1].sim_cycles, 500_000);
+        assert!((back.entries[1].cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert_eq!(back.entries[0].cycles_per_sec(), 0.0, "no measurement");
         assert_eq!(back.done_count(), 1);
         assert_eq!(back.entries[0].status, JobStatus::Pending);
         let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn pre_host_perf_manifests_still_parse() {
+        // A v1 file written before wall_ms/sim_cycles existed: the
+        // fields default to zero instead of failing the load.
+        let text = format!(
+            "{{\"schema\":\"{MANIFEST_SCHEMA}\",\"name\":\"old\",\"id\":\"abc\",\
+             \"total\":1,\"done\":1,\"jobs\":[{{\"key\":\"{:032x}\",\"label\":\"j0\",\
+             \"status\":\"done\",\"attempts\":2,\"outcome\":\"completed\"}}]}}",
+            7
+        );
+        let m = Manifest::from_json_text(&text).expect("old manifest parses");
+        assert_eq!(m.entries[0].attempts, 2);
+        assert_eq!(m.entries[0].wall_ms, 0);
+        assert_eq!(m.entries[0].sim_cycles, 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!          [--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]
 //!          [--budget N] [--seed N] [--faults] [--json] [--liveness] [--no-liveness]
 //!          [--metrics-out FILE] [--trace-out FILE] [--sample-interval N]
+//!          [--profile] [--profile-stride N]
 //!
 //! Prints a human-readable report with latency percentiles, or a
 //! machine-readable run summary with `--json`. `--metrics-out` writes
@@ -13,6 +14,9 @@
 //! Both are written even for wedged or capped runs, so a bad run still
 //! leaves its evidence behind. `--liveness` additionally dumps the
 //! per-component liveness probe snapshot on any non-completed outcome.
+//! `--profile` prints a host-side wall-time breakdown of the tick
+//! phases (stderr), sampling one tick in `--profile-stride` (default
+//! 64).
 //!
 //! Exit codes: 0 on a completed run, 2 on bad arguments. A run that
 //! does not complete exits with its wedge root-cause class — 10
@@ -20,7 +24,10 @@
 //! core-deadlock, 14 slow-but-live — falling back to 3 (wedged) or 4
 //! (cycle-cap hit) when no class was captured.
 
-use emc_sim::{build_system, cycle_cap, eight_core_mix, metrics_json, summary_json, RunOutcome};
+use emc_sim::{
+    build_system, cycle_cap, eight_core_mix, metrics_json, summary_json, RunOutcome,
+    ThroughputMeter, DEFAULT_PROFILE_STRIDE,
+};
 use emc_types::{FaultPlan, Histogram, LivenessConfig, PrefetcherKind, SystemConfig, WedgeClass};
 use emc_workloads::{mix_by_name, Benchmark};
 use std::io::Write;
@@ -51,7 +58,8 @@ fn usage() {
         "usage: emcsim [--mix H1..H10 | --homog <bench>] [--cores 4|8] [--mcs 1|2]\n\
          \t[--prefetcher none|ghb|stream|markov|stride] [--no-emc] [--runahead]\n\
          \t[--budget N] [--seed N] [--faults] [--json] [--liveness] [--no-liveness]\n\
-         \t[--metrics-out FILE] [--trace-out FILE] [--sample-interval N]"
+         \t[--metrics-out FILE] [--trace-out FILE] [--sample-interval N]\n\
+         \t[--profile] [--profile-stride N]"
     );
 }
 
@@ -106,6 +114,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut sample_interval: Option<u64> = None;
+    let mut profile_stride: Option<u32> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mix" => mix_name = require_value(&mut args, "--mix"),
@@ -138,6 +147,8 @@ fn main() {
             "--sample-interval" => {
                 sample_interval = Some(parse_value(&mut args, "--sample-interval"))
             }
+            "--profile" => profile_stride = profile_stride.or(Some(DEFAULT_PROFILE_STRIDE)),
+            "--profile-stride" => profile_stride = Some(parse_value(&mut args, "--profile-stride")),
             other => bad_args(&format!("unknown flag {other:?}")),
         }
     }
@@ -195,7 +206,30 @@ fn main() {
     if let Some(iv) = sample_interval {
         sys.set_sample_interval(iv);
     }
+    if let Some(stride) = profile_stride {
+        sys.enable_profiling(stride);
+    }
+    let meter = ThroughputMeter::new();
     let report = sys.run_with_warmup(budget / 2, budget, cycle_cap(budget));
+    let throughput = meter.finish(
+        sys.now(),
+        report.stats.cores.iter().map(|c| c.retired_uops).sum(),
+    );
+
+    // Host-performance breakdown goes to stderr so it composes with
+    // --json on stdout.
+    if let Some(stride) = profile_stride {
+        let prof = sys.profile_report();
+        eprintln!(
+            "# host: {:.2} Mcycles/s, {:.2} Muops/s (wall {:.2}s, profile stride {stride})",
+            throughput.cycles_per_sec() / 1e6,
+            throughput.uops_per_sec() / 1e6,
+            throughput.wall_nanos as f64 / 1e9,
+        );
+        for line in prof.table().lines() {
+            eprintln!("#   {line}");
+        }
+    }
 
     // Exporters run before outcome handling: a wedged or capped run
     // still writes its metrics and trace for post-mortem inspection.
@@ -293,6 +327,11 @@ fn main() {
     println!(
         "row conflict rate: {:.1}%",
         100.0 * stats.mem.row_conflict_rate()
+    );
+    let lease_aborts: u64 = stats.cores.iter().map(|c| c.chains_aborted_lease).sum();
+    println!(
+        "escalated requests: {} · lease-aborted chains: {}",
+        stats.mem.escalated_requests, lease_aborts
     );
     println!();
     println!(

@@ -27,11 +27,16 @@
 
 pub mod events;
 pub mod metrics;
+pub mod profile;
 pub mod runner;
 pub mod system;
 
 pub use emc_types::{RunOutcome, RunReport, WedgeReport};
 pub use metrics::{metrics_json, summary_json, Sampler, DEFAULT_SAMPLE_INTERVAL};
+pub use profile::{
+    Phase, PhaseStat, ProfileReport, Throughput, ThroughputMeter, TickProfiler,
+    DEFAULT_PROFILE_STRIDE,
+};
 pub use runner::{
     build_system, cycle_cap, eight_core_mix, run_homogeneous, run_mix, run_mix_capped,
     DEFAULT_BUDGET,

@@ -260,15 +260,26 @@ pub fn summary_json(stats: &Stats, names: &[String], outcome: RunOutcome) -> Jso
                 ("ipc", c.ipc().into()),
                 ("mpki", c.mpki().into()),
                 ("chains_sent", c.chains_sent.into()),
+                ("chains_aborted_lease", c.chains_aborted_lease.into()),
             ])
         })
         .collect();
+    let lease_aborts: u64 = stats.cores.iter().map(|c| c.chains_aborted_lease).sum();
     JsonValue::obj(vec![
         ("schema", "emcsim-summary-v1".into()),
         ("outcome", outcome_label(outcome).into()),
         ("cycles", stats.cycles.into()),
         ("ipc_sum", stats.ipc_sum().into()),
         ("cores", JsonValue::Arr(cores)),
+        (
+            // PR 6's forward-progress counters: requests force-escalated
+            // by MC aging and chains aborted by EMC context leases.
+            "counters",
+            JsonValue::obj(vec![
+                ("escalated_requests", stats.mem.escalated_requests.into()),
+                ("chains_aborted_lease", lease_aborts.into()),
+            ]),
+        ),
         (
             "latency",
             JsonValue::obj(vec![
@@ -380,5 +391,36 @@ mod tests {
             .and_then(|v| v.as_f64())
             .unwrap();
         assert!(p99 >= 256.0, "p99 {p99} should bracket the 400-cycle tail");
+    }
+
+    #[test]
+    fn summary_json_exports_forward_progress_counters() {
+        let mut stats = Stats::new(2);
+        stats.mem.escalated_requests = 7;
+        stats.cores[0].chains_aborted_lease = 2;
+        stats.cores[1].chains_aborted_lease = 3;
+        let names = vec!["mcf".to_string(), "lbm".to_string()];
+        let doc = summary_json(&stats, &names, RunOutcome::Completed);
+        let back = JsonValue::parse(&doc.to_json()).expect("valid JSON");
+        let counters = back.get("counters").expect("counters object");
+        assert_eq!(
+            counters.get("escalated_requests").and_then(|v| v.as_f64()),
+            Some(7.0)
+        );
+        assert_eq!(
+            counters
+                .get("chains_aborted_lease")
+                .and_then(|v| v.as_f64()),
+            Some(5.0),
+            "summed across cores"
+        );
+        assert_eq!(
+            back.get("cores")
+                .and_then(|c| c.idx(1))
+                .and_then(|c| c.get("chains_aborted_lease"))
+                .and_then(|v| v.as_f64()),
+            Some(3.0),
+            "per-core breakdown exported too"
+        );
     }
 }

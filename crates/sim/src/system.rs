@@ -6,6 +6,7 @@
 
 use crate::events::{Ev, Scheduled};
 use crate::metrics::Sampler;
+use crate::profile::{Phase, ProfileReport, TickProfiler};
 use emc_cache::SetAssocCache;
 use emc_core::{generate_chain, AbortReason, DepMissCounter, Emc, EmcEvent, LoadRoute};
 use emc_cpu::{Core, CoreEvent, EntryState, RobId};
@@ -194,6 +195,7 @@ pub struct System {
     pub stats: Stats,
     trace: TraceSink,
     sampler: Sampler,
+    profiler: TickProfiler,
     /// Per EMC context: ship-start and execution-start cycles of the
     /// chain currently occupying it (chain-latency attribution).
     emc_ctx_ship: Vec<Vec<Option<(Cycle, Cycle)>>>,
@@ -300,6 +302,7 @@ impl System {
             stats: Stats::new(cfg.cores),
             trace: TraceSink::disabled(),
             sampler: Sampler::default(),
+            profiler: TickProfiler::disabled(),
             emc_ctx_ship: vec![vec![None; cfg.emc.contexts]; cfg.memory_controllers],
             emc_ctx_progress: vec![vec![0; cfg.emc.contexts]; cfg.memory_controllers],
             core_last_retire: vec![0; cfg.cores],
@@ -362,6 +365,21 @@ impl System {
     /// Captured time-series samples, oldest first.
     pub fn samples(&self) -> &[MetricSample] {
         self.sampler.samples()
+    }
+
+    /// Enable the host-side per-phase tick profiler, measuring one tick
+    /// in every `stride` (0 disables again). Until this is called every
+    /// phase boundary costs one predictable branch and no clock read;
+    /// the profiler never touches simulated state, so enabling it
+    /// cannot change results (see `crate::profile`).
+    pub fn enable_profiling(&mut self, stride: u32) {
+        self.profiler = TickProfiler::with_stride(stride);
+    }
+
+    /// Snapshot the host-side phase breakdown (all zeros unless
+    /// [`enable_profiling`](Self::enable_profiling) was called).
+    pub fn profile_report(&self) -> ProfileReport {
+        self.profiler.report()
     }
 
     fn schedule(&mut self, at: Cycle, ev: Ev) {
@@ -641,17 +659,28 @@ impl System {
         stats
     }
 
-    /// One simulation cycle.
+    /// One simulation cycle. Each sub-phase is bracketed by the host
+    /// profiler (one branch per boundary when profiling is off; a
+    /// single clock read per boundary on sampled ticks when on).
     pub fn tick(&mut self, budget: u64) {
+        self.profiler.begin_tick();
+        let t = self.profiler.phase_start();
         self.drain_events();
+        let t = self.profiler.phase_mark(Phase::Events, t);
         self.tick_mcs();
+        let t = self.profiler.phase_mark(Phase::Mcs, t);
         self.tick_emcs();
+        let t = self.profiler.phase_mark(Phase::Emcs, t);
         self.maybe_generate_chains();
+        let t = self.profiler.phase_mark(Phase::ChainGen, t);
         self.drain_prefetchers();
+        let t = self.profiler.phase_mark(Phase::Prefetch, t);
         self.tick_cores();
+        let t = self.profiler.phase_mark(Phase::Cores, t);
         self.track_retirement();
         self.observe();
         self.take_snapshots(budget);
+        self.profiler.phase_end(Phase::Observe, t);
         self.now += 1;
     }
 

@@ -193,6 +193,49 @@ fn tracing_does_not_perturb_simulation() {
 }
 
 #[test]
+fn profiling_does_not_perturb_results_and_attributes_wall_time() {
+    let mix = mix_by_name("H4").unwrap();
+    let mut plain = build_system(SystemConfig::quad_core(), &mix).unwrap();
+    let plain_stats = plain.run(BUDGET, cycle_cap(BUDGET)).expect_completed();
+
+    let mut profiled = build_system(SystemConfig::quad_core(), &mix).unwrap();
+    profiled.enable_profiling(16);
+    let profiled_stats = profiled.run(BUDGET, cycle_cap(BUDGET)).expect_completed();
+    assert_eq!(
+        format!("{plain_stats:?}"),
+        format!("{profiled_stats:?}"),
+        "host profiling changed simulated statistics"
+    );
+
+    let report = profiled.profile_report();
+    assert!(report.sampled_ticks > 0, "no ticks were sampled");
+    assert!(
+        report.total_ticks >= report.sampled_ticks,
+        "coverage accounting inverted"
+    );
+    // Every phase ran at least once on sampled ticks, and the dominant
+    // phases carry real time.
+    assert!(report.sampled_nanos() > 0, "no wall time attributed");
+    for p in &report.phases {
+        assert_eq!(
+            p.samples, report.sampled_ticks,
+            "phase {} measured on {} of {} sampled ticks",
+            p.name, p.samples, report.sampled_ticks
+        );
+    }
+    let share_sum: f64 = report.phases.iter().map(|p| report.share(p.name)).sum();
+    assert!(
+        share_sum <= 1.0 + 1e-9,
+        "phase shares sum to {share_sum} > 1"
+    );
+
+    // A disabled profiler reports all zeros.
+    let empty = plain.profile_report();
+    assert_eq!(empty.sampled_ticks, 0);
+    assert_eq!(empty.sampled_nanos(), 0);
+}
+
+#[test]
 fn wedge_report_carries_recent_sample_history() {
     let mix = mix_by_name("H4").unwrap();
     let mut sys = build_system(SystemConfig::quad_core(), &mix).unwrap();
