@@ -1,0 +1,313 @@
+//! HTTP/JSON client for the `campaignd` service (`emc-campaignd-v1`).
+//!
+//! Lives in this crate — not `emc-campaignd` — because the `campaign`
+//! CLI is the primary consumer and the dependency arrow points the
+//! other way (the daemon builds *on* the engine). Plain
+//! `std::net::TcpStream`, one request per connection, matching the
+//! daemon's `Connection: close` discipline; the wire documents are the
+//! shared types in [`emc_types::svc`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use emc_types::{
+    EventBatch, JobStatusView, JsonValue, Rejection, ServiceStats, SubmitAck, SubmitRequest,
+};
+
+/// How a client call failed — the split the CLI's exit-code mapping
+/// needs: a daemon that isn't there is a different failure class from a
+/// daemon that said no.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach the daemon at all (connect/write/read failure).
+    Unreachable(String),
+    /// The daemon answered with a structured rejection.
+    Rejected {
+        /// HTTP status (400, 404, 429, 503).
+        status: u16,
+        /// The decoded rejection document.
+        rejection: Rejection,
+    },
+    /// The daemon answered, but not in the protocol we speak.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Unreachable(e) => write!(f, "service unreachable: {e}"),
+            ClientError::Rejected { status, rejection } => write!(
+                f,
+                "rejected ({status} {}): {}",
+                rejection.error, rejection.detail
+            ),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+/// A client bound to one daemon address (`host:port`).
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    /// Baseline I/O timeout; long-polls extend it by their own timeout.
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Liveness probe (`GET /v1/healthz`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unreachable`] when nothing answers.
+    pub fn healthz(&self) -> Result<(), ClientError> {
+        self.request("GET", "/v1/healthz", None, self.timeout)
+            .map(|_| ())
+    }
+
+    /// Submit a job (`POST /v1/jobs`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] carries the structured 400/429/503.
+    pub fn submit(&self, req: &SubmitRequest) -> Result<SubmitAck, ClientError> {
+        let doc = self.request("POST", "/v1/jobs", Some(&req.to_json()), self.timeout)?;
+        SubmitAck::from_json(&doc).map_err(ClientError::Protocol)
+    }
+
+    /// Snapshot a job (`GET /v1/jobs/<id>`).
+    ///
+    /// # Errors
+    ///
+    /// 404 surfaces as [`ClientError::Rejected`].
+    pub fn status(&self, id: &str) -> Result<JobStatusView, ClientError> {
+        let doc = self.request("GET", &format!("/v1/jobs/{id}"), None, self.timeout)?;
+        JobStatusView::from_json(&doc).map_err(ClientError::Protocol)
+    }
+
+    /// Long-poll a job's event stream
+    /// (`GET /v1/jobs/<id>/events?since=N&timeout_ms=M`).
+    ///
+    /// # Errors
+    ///
+    /// 404 surfaces as [`ClientError::Rejected`].
+    pub fn events(&self, id: &str, since: u64, timeout_ms: u64) -> Result<EventBatch, ClientError> {
+        let path = format!("/v1/jobs/{id}/events?since={since}&timeout_ms={timeout_ms}");
+        let doc = self.request(
+            "GET",
+            &path,
+            None,
+            self.timeout + Duration::from_millis(timeout_ms),
+        )?;
+        EventBatch::from_json(&doc).map_err(ClientError::Protocol)
+    }
+
+    /// Service statistics (`GET /v1/stats`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unreachable`] / [`ClientError::Protocol`].
+    pub fn stats(&self) -> Result<ServiceStats, ClientError> {
+        let doc = self.request("GET", "/v1/stats", None, self.timeout)?;
+        ServiceStats::from_json(&doc).map_err(ClientError::Protocol)
+    }
+
+    /// Begin a graceful drain (`POST /v1/drain`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unreachable`] when nothing answers.
+    pub fn drain(&self) -> Result<JsonValue, ClientError> {
+        self.request("POST", "/v1/drain", None, self.timeout)
+    }
+
+    /// One request/response cycle. 2xx returns the parsed body; other
+    /// statuses decode the body as a [`Rejection`].
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&JsonValue>,
+        read_timeout: Duration,
+    ) -> Result<JsonValue, ClientError> {
+        let addr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Unreachable(format!("{}: {e}", self.addr)))?
+            .next()
+            .ok_or_else(|| ClientError::Unreachable(format!("{}: no address", self.addr)))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)
+            .map_err(|e| ClientError::Unreachable(format!("{}: {e}", self.addr)))?;
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| ClientError::Unreachable(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+
+        let payload = body.map(|b| b.to_json()).unwrap_or_default();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{payload}",
+            self.addr,
+            payload.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| ClientError::Unreachable(format!("write: {e}")))?;
+
+        let (status, text) = read_response(&mut stream)?;
+        let doc = JsonValue::parse(&text)
+            .map_err(|e| ClientError::Protocol(format!("status {status}, bad body: {e}")))?;
+        if (200..300).contains(&status) {
+            return Ok(doc);
+        }
+        match Rejection::from_json(&doc) {
+            Ok(rejection) => Err(ClientError::Rejected { status, rejection }),
+            Err(e) => Err(ClientError::Protocol(format!(
+                "status {status}, undecodable rejection: {e}"
+            ))),
+        }
+    }
+}
+
+/// Parse one HTTP/1.1 response: status code and body (honoring
+/// `Content-Length` when present, else read-to-close).
+fn read_response(stream: &mut TcpStream) -> Result<(u16, String), ClientError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| ClientError::Unreachable(format!("read status line: {e}")))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut h = String::new();
+        reader
+            .read_line(&mut h)
+            .map_err(|e| ClientError::Unreachable(format!("read header: {e}")))?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| ClientError::Unreachable(format!("read body: {e}")))?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = String::new();
+            reader
+                .read_to_string(&mut buf)
+                .map_err(|e| ClientError::Unreachable(format!("read body: {e}")))?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Serve exactly one canned HTTP response, then close.
+    fn one_shot_server(status_line: &str, body: &str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let response = format!(
+            "HTTP/1.1 {status_line}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                // Drain the request before answering so the client's
+                // write never races the close.
+                let mut buf = [0u8; 4096];
+                let _ = stream.read(&mut buf);
+                let _ = stream.write_all(response.as_bytes());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn decodes_a_successful_ack() {
+        let ack = SubmitAck {
+            id: "j9".into(),
+            total: 80,
+            queue_depth: 80,
+        };
+        let addr = one_shot_server("200 OK", &ack.to_json().to_json());
+        let got = Client::new(addr)
+            .submit(&SubmitRequest::new("t", "quad"))
+            .unwrap();
+        assert_eq!(got, ack);
+    }
+
+    #[test]
+    fn surfaces_structured_rejections_with_status() {
+        let rej = Rejection {
+            error: "queue-full".into(),
+            detail: "at capacity".into(),
+            queue_depth: 10,
+            capacity: 10,
+        };
+        let addr = one_shot_server("429 Too Many Requests", &rej.to_json().to_json());
+        match Client::new(addr).submit(&SubmitRequest::new("t", "quad")) {
+            Err(ClientError::Rejected { status, rejection }) => {
+                assert_eq!(status, 429);
+                assert_eq!(rejection, rej);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_daemon_is_unreachable_not_a_panic() {
+        // Bind then drop: the port is (momentarily) closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        match Client::new(addr).healthz() {
+            Err(ClientError::Unreachable(_)) => {}
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_responses_are_protocol_errors() {
+        let addr = one_shot_server("200 OK", "this is not json");
+        match Client::new(addr).stats() {
+            Err(ClientError::Protocol(_)) => {}
+            other => panic!("expected Protocol, got {other:?}"),
+        }
+    }
+}

@@ -89,6 +89,154 @@ pub fn retry_decision(
     }
 }
 
+/// The reentrant core of the engine: consult the cache, execute with
+/// the class-driven retry policy, store the result. Detached from
+/// campaign bookkeeping (manifests, deferral, progress) so a
+/// long-running service can share one `Executor` across a resident
+/// worker pool — every method takes `&self`, and the type is
+/// `Send + Sync`, so concurrent [`resolve`](Executor::resolve) calls
+/// from many threads are safe. Two executors (even in different
+/// processes) racing on the same spec converge on one cache entry via
+/// the cache's atomic temp+rename writes.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// Result cache to consult and fill; `None` executes every job.
+    pub cache: Option<ResultCache>,
+    /// Bounded re-runs for transient wedge classes.
+    pub wedge_retries: u32,
+    /// Prefix for diagnostic stderr lines ("campaign NAME", "worker 3").
+    pub tag: String,
+}
+
+impl Executor {
+    /// An executor over `cache` with the default retry budget.
+    pub fn new(cache: Option<ResultCache>) -> Self {
+        Executor {
+            cache,
+            wedge_retries: 2,
+            tag: "engine".into(),
+        }
+    }
+
+    /// Rename the diagnostic tag.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    /// Resolve one spec: cache hit, or execute under the class-driven
+    /// retry policy and store the result. Sets the record's `wall` to
+    /// the time spent in this call (microseconds for hits, the full
+    /// simulation for executions).
+    pub fn resolve(&self, spec: &JobSpec) -> JobRecord {
+        let start = Instant::now();
+        let mut record = JobRecord {
+            label: spec.label.clone(),
+            key: spec.key(),
+            source: JobSource::Executed,
+            outcome: String::new(),
+            attempts: 0,
+            result: None,
+            wall: Duration::ZERO,
+        };
+
+        if let Some(cache) = &self.cache {
+            if let Some(result) = cache.load(spec) {
+                record.source = JobSource::CacheHit;
+                record.outcome = "cache-hit".into();
+                record.result = Some(result);
+                record.wall = start.elapsed();
+                return record;
+            }
+        }
+
+        // Execute under the class-driven retry policy: transient wedge
+        // classes get bounded re-runs, deterministic classes fail on
+        // sight, and a slow-but-live cap hit earns one extended cap.
+        let mut next_cap: Option<u64> = None;
+        loop {
+            record.attempts += 1;
+            let report = match next_cap {
+                Some(cap) => spec.execute_capped(cap),
+                None => spec.execute(),
+            };
+            if report.outcome == RunOutcome::Completed {
+                let result = spec.to_result(report.stats);
+                if let Some(cache) = &self.cache {
+                    if let Err(e) = cache.store(spec, &result) {
+                        eprintln!("# {}: {e}", self.tag);
+                    }
+                }
+                record.outcome = if record.attempts > 1 {
+                    format!("completed (attempt {})", record.attempts)
+                } else {
+                    "completed".into()
+                };
+                record.result = Some(result);
+                record.wall = start.elapsed();
+                return record;
+            }
+
+            let class_label = report
+                .class
+                .as_ref()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "unclassified".into());
+            match retry_decision(
+                report.outcome,
+                report.class.as_ref(),
+                record.attempts,
+                self.wedge_retries,
+                next_cap.is_some(),
+            ) {
+                RetryDecision::Retry => {
+                    eprintln!(
+                        "# {}: {} wedged ({class_label}, attempt {}), retrying",
+                        self.tag, spec.label, record.attempts
+                    );
+                }
+                RetryDecision::ExtendCap => {
+                    let cap = spec
+                        .default_cycle_cap()
+                        .saturating_mul(CAP_EXTENSION_FACTOR);
+                    eprintln!(
+                        "# {}: {} hit the cycle cap while live ({class_label}), \
+                         re-running once at {CAP_EXTENSION_FACTOR}x cap",
+                        self.tag, spec.label
+                    );
+                    next_cap = Some(cap);
+                }
+                RetryDecision::Fail => {
+                    record.outcome = match report.outcome {
+                        RunOutcome::Wedged => {
+                            let diag = report
+                                .wedge
+                                .as_ref()
+                                .map(|w| format!(" at cycle {}", w.cycle))
+                                .unwrap_or_default();
+                            format!(
+                                "wedged{diag} after {} attempts — root cause: {class_label}",
+                                record.attempts
+                            )
+                        }
+                        _ => format!(
+                            "cycle-cap hit after {} cycles — root cause: {class_label}{}",
+                            report.stats.cycles,
+                            if next_cap.is_some() {
+                                " (extended cap exhausted)"
+                            } else {
+                                " (not retried: deterministic)"
+                            }
+                        ),
+                    };
+                    record.wall = start.elapsed();
+                    return record;
+                }
+            }
+        }
+    }
+}
+
 /// Policy knobs for one campaign run.
 #[derive(Debug, Clone)]
 pub struct CampaignOptions {
@@ -372,6 +520,17 @@ impl Campaign {
 
     /// Run every job under `opts` and report how each resolved.
     pub fn run(&self, opts: &CampaignOptions) -> CampaignReport {
+        self.run_with(opts, |_| {})
+    }
+
+    /// [`run`](Self::run) with a per-job completion callback, invoked
+    /// after each job is resolved and journaled (from whichever worker
+    /// thread finished it — the callback must be `Sync`). This is the
+    /// streaming interface `campaignd` builds its progress events on.
+    pub fn run_with<F>(&self, opts: &CampaignOptions, on_job: F) -> CampaignReport
+    where
+        F: Fn(&JobRecord) + Sync,
+    {
         let start = Instant::now();
         let keys: Vec<JobKey> = self.jobs.iter().map(|j| j.key()).collect();
 
@@ -388,10 +547,15 @@ impl Campaign {
         let hits = AtomicUsize::new(0);
         let fresh = AtomicUsize::new(0);
         let total = self.jobs.len();
+        let executor = Executor {
+            cache: opts.cache.clone(),
+            wedge_retries: opts.wedge_retries,
+            tag: format!("campaign {}", self.name),
+        };
 
         let records = parallel_map((0..total).collect::<Vec<usize>>(), opts.workers, |_, &i| {
             let job_start = Instant::now();
-            let mut record = self.resolve_one(i, &keys[i], &prior[i], opts, &fresh);
+            let mut record = self.resolve_one(i, &keys[i], &prior[i], &executor, opts, &fresh);
             record.wall = job_start.elapsed();
 
             // Journal the job before reporting progress, so a kill
@@ -420,6 +584,7 @@ impl Campaign {
                 }
             }
 
+            on_job(&record);
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
             let h = if record.source == JobSource::CacheHit {
                 hits.fetch_add(1, Ordering::Relaxed) + 1
@@ -442,12 +607,14 @@ impl Campaign {
         }
     }
 
-    /// Resolve job `i`: skip, cache hit, defer, or execute with retries.
+    /// Resolve job `i`: skip or defer per campaign policy, else hand the
+    /// spec to the executor (cache hit or execute with retries).
     fn resolve_one(
         &self,
         i: usize,
         key: &JobKey,
         prior: &(JobStatus, u32, String),
+        executor: &Executor,
         opts: &CampaignOptions,
         fresh: &AtomicUsize,
     ) -> JobRecord {
@@ -468,16 +635,18 @@ impl Campaign {
             return record;
         }
 
-        if let Some(cache) = &opts.cache {
-            if let Some(result) = cache.load(spec) {
-                record.source = JobSource::CacheHit;
-                record.outcome = "cache-hit".into();
-                record.result = Some(result);
-                return record;
-            }
-        }
-
+        // The deferral budget only charges cache misses, so the cheap
+        // hit probe runs first (outside the executor, which would count
+        // a miss-then-execute as one opaque resolve).
         if let Some(limit) = opts.max_fresh_runs {
+            if let Some(cache) = &opts.cache {
+                if let Some(result) = cache.load(spec) {
+                    record.source = JobSource::CacheHit;
+                    record.outcome = "cache-hit".into();
+                    record.result = Some(result);
+                    return record;
+                }
+            }
             if fresh.fetch_add(1, Ordering::Relaxed) >= limit {
                 record.source = JobSource::Deferred;
                 record.outcome = "deferred (fresh-run budget exhausted)".into();
@@ -485,88 +654,7 @@ impl Campaign {
             }
         }
 
-        // Execute under the class-driven retry policy: transient wedge
-        // classes get bounded re-runs, deterministic classes fail on
-        // sight, and a slow-but-live cap hit earns one extended cap.
-        let mut next_cap: Option<u64> = None;
-        loop {
-            record.attempts += 1;
-            let report = match next_cap {
-                Some(cap) => spec.execute_capped(cap),
-                None => spec.execute(),
-            };
-            if report.outcome == RunOutcome::Completed {
-                let result = spec.to_result(report.stats);
-                if let Some(cache) = &opts.cache {
-                    if let Err(e) = cache.store(spec, &result) {
-                        eprintln!("# campaign {}: {e}", self.name);
-                    }
-                }
-                record.outcome = if record.attempts > 1 {
-                    format!("completed (attempt {})", record.attempts)
-                } else {
-                    "completed".into()
-                };
-                record.result = Some(result);
-                return record;
-            }
-
-            let class_label = report
-                .class
-                .as_ref()
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "unclassified".into());
-            match retry_decision(
-                report.outcome,
-                report.class.as_ref(),
-                record.attempts,
-                opts.wedge_retries,
-                next_cap.is_some(),
-            ) {
-                RetryDecision::Retry => {
-                    eprintln!(
-                        "# campaign {}: {} wedged ({class_label}, attempt {}), retrying",
-                        self.name, spec.label, record.attempts
-                    );
-                }
-                RetryDecision::ExtendCap => {
-                    let cap = spec
-                        .default_cycle_cap()
-                        .saturating_mul(CAP_EXTENSION_FACTOR);
-                    eprintln!(
-                        "# campaign {}: {} hit the cycle cap while live ({class_label}), \
-                         re-running once at {CAP_EXTENSION_FACTOR}x cap",
-                        self.name, spec.label
-                    );
-                    next_cap = Some(cap);
-                }
-                RetryDecision::Fail => {
-                    record.outcome = match report.outcome {
-                        RunOutcome::Wedged => {
-                            let diag = report
-                                .wedge
-                                .as_ref()
-                                .map(|w| format!(" at cycle {}", w.cycle))
-                                .unwrap_or_default();
-                            format!(
-                                "wedged{diag} after {} attempts — root cause: {class_label}",
-                                record.attempts
-                            )
-                        }
-                        _ => format!(
-                            "cycle-cap hit after {} cycles — root cause: {class_label}{}",
-                            report.stats.cycles,
-                            if next_cap.is_some() {
-                                " (extended cap exhausted)"
-                            } else {
-                                " (not retried: deterministic)"
-                            }
-                        ),
-                    };
-                    return record;
-                }
-            }
-        }
+        executor.resolve(spec)
     }
 
     fn load_or_fresh_manifest(&self, keys: &[JobKey], opts: &CampaignOptions) -> Manifest {
@@ -608,6 +696,18 @@ pub fn hist_summary_json(h: &Histogram) -> JsonValue {
     ])
 }
 
+/// Remaining-time estimate extrapolated from throughput so far: the
+/// live-progress math shared by the `campaign` CLI's status line and
+/// `campaignd`'s per-job progress events. `None` when nothing has
+/// finished yet (no throughput to extrapolate) or everything has.
+pub fn eta(done: usize, total: usize, elapsed: Duration) -> Option<Duration> {
+    if done == 0 || done >= total {
+        return None;
+    }
+    let per_job = elapsed.as_secs_f64() / done as f64;
+    Some(Duration::from_secs_f64(per_job * (total - done) as f64))
+}
+
 /// One `\r`-terminated progress line: jobs done, hit count/rate, ETA
 /// extrapolated from throughput so far.
 fn progress_line(name: &str, done: usize, total: usize, hits: usize, elapsed: Duration) {
@@ -616,11 +716,9 @@ fn progress_line(name: &str, done: usize, total: usize, hits: usize, elapsed: Du
     } else {
         0.0
     };
-    let eta = if done > 0 && done < total {
-        let per_job = elapsed.as_secs_f64() / done as f64;
-        format!(" · eta {:.0}s", per_job * (total - done) as f64)
-    } else {
-        String::new()
+    let eta = match eta(done, total, elapsed) {
+        Some(d) => format!(" · eta {:.0}s", d.as_secs_f64()),
+        None => String::new(),
     };
     eprint!("\r# campaign {name}: {done}/{total} · {hits} hits ({rate:.0}%){eta}        ");
 }
@@ -855,6 +953,80 @@ mod tests {
             RetryDecision::Fail,
             "an unclassified cap hit is treated as deterministic"
         );
+    }
+
+    #[test]
+    fn executor_is_reentrant_and_shared_across_threads() {
+        let cache = tmpcache("executor");
+        let root = cache.root().to_path_buf();
+        let executor = Executor::new(Some(cache)).with_tag("executor-test");
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::homog(Benchmark::Mcf, tiny_quad(100 + i), 300))
+            .collect();
+
+        // One executor, four threads, concurrent `&self` resolves.
+        let records: Vec<JobRecord> = std::thread::scope(|s| {
+            specs
+                .iter()
+                .map(|spec| s.spawn(|| executor.resolve(spec)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+        for r in &records {
+            assert_eq!(r.source, JobSource::Executed);
+            assert!(r.result.is_some(), "{}: {}", r.label, r.outcome);
+            assert!(r.wall > Duration::ZERO, "resolve measures its own wall");
+        }
+
+        // Second pass resolves from the cache.
+        for spec in &specs {
+            let r = executor.resolve(spec);
+            assert_eq!(r.source, JobSource::CacheHit);
+            assert_eq!(r.attempts, 0);
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn run_with_fires_completion_callback_per_job() {
+        let cache = tmpcache("callback");
+        let root = cache.root().to_path_buf();
+        let campaign = tiny_campaign(5);
+        let seen = Mutex::new(Vec::new());
+        let report = campaign.run_with(
+            &CampaignOptions {
+                workers: 2,
+                ..CampaignOptions::quiet(Some(cache))
+            },
+            |record| {
+                seen.lock()
+                    .unwrap()
+                    .push((record.label.clone(), record.result.is_some()));
+            },
+        );
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), report.records.len());
+        seen.sort();
+        let mut expected: Vec<(String, bool)> = report
+            .records
+            .iter()
+            .map(|r| (r.label.clone(), r.result.is_some()))
+            .collect();
+        expected.sort();
+        assert_eq!(seen, expected, "callback saw every record exactly once");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn eta_extrapolates_from_throughput() {
+        assert_eq!(eta(0, 10, Duration::from_secs(5)), None, "no data yet");
+        assert_eq!(eta(10, 10, Duration::from_secs(5)), None, "finished");
+        assert_eq!(eta(3, 3, Duration::ZERO), None);
+        // 4 done in 8s → 2s/job → 12s for the remaining 6.
+        let e = eta(4, 10, Duration::from_secs(8)).expect("mid-flight");
+        assert!((e.as_secs_f64() - 12.0).abs() < 1e-9);
     }
 
     #[test]

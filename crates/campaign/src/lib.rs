@@ -27,6 +27,7 @@
 //! the `emc-bench` figure harnesses are thin layers over this crate.
 
 pub mod cache;
+pub mod client;
 pub mod codec;
 pub mod engine;
 pub mod exec;
@@ -36,13 +37,14 @@ pub mod spec;
 pub mod suite;
 
 pub use cache::{ResultCache, CACHE_SCHEMA, DEFAULT_CACHE_DIR};
+pub use client::{Client, ClientError};
 pub use codec::{
     histogram_from_json, histogram_to_json, run_result_from_json, run_result_to_json,
     stats_from_json, stats_to_json,
 };
 pub use engine::{
-    hist_summary_json, retry_decision, Campaign, CampaignOptions, CampaignReport, JobRecord,
-    JobSource, RetryDecision, CAP_EXTENSION_FACTOR, REPORT_SCHEMA,
+    eta, hist_summary_json, retry_decision, Campaign, CampaignOptions, CampaignReport, Executor,
+    JobRecord, JobSource, RetryDecision, CAP_EXTENSION_FACTOR, REPORT_SCHEMA,
 };
 pub use exec::{default_workers, parallel_map};
 pub use hash::{digest128, digest128_hex};

@@ -1,0 +1,1347 @@
+//! The campaignd service core: submissions, the worker pool, progress
+//! streams, statistics, drain, and crash resume.
+//!
+//! A [`Service`] owns one [`FairQueue`](crate::queue::FairQueue) of
+//! (job, task) references, one shared reentrant
+//! [`Executor`](emc_campaign::Executor) over the content-addressed
+//! result cache, and a pool of resident worker threads. Submissions
+//! expand a [`SubmitRequest`] into concrete [`JobSpec`]s
+//! ([`expand_request`]), pass admission control (all-or-nothing against
+//! the queue capacity → structured 429), and are journaled to
+//! `<cache>/service/jobs/<id>.json` *before* the ack goes out — so a
+//! `kill -9` at any point loses no admitted job: on restart the journal
+//! replays every submission, completed jobs register as done from their
+//! manifests, and incomplete jobs re-enqueue all their tasks, where the
+//! previously-finished ones resolve as instant cache hits instead of
+//! re-executing.
+//!
+//! Everything network-shaped lives behind [`handle_request`], a pure
+//! `(service, request) → (status, body)` router, so the protocol is
+//! unit-testable without sockets; [`Service::serve`] is the thin accept
+//! loop that feeds it.
+
+use std::collections::HashMap;
+use std::fs;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use emc_campaign::{
+    default_workers, eta, homog_jobs, mix8_jobs, quad_jobs, Executor, JobRecord, JobSource,
+    JobSpec, JobStatus, Manifest, ResultCache,
+};
+use emc_types::codec::u;
+use emc_types::{
+    EventBatch, Histogram, JobState, JobStatusView, JsonValue, ProgressEvent, Rejection,
+    ServiceStats, SubmitAck, SubmitRequest, SystemConfig, TenantStats, SVC_SCHEMA,
+};
+
+use crate::http::{read_request, write_response, Request};
+use crate::queue::{FairQueue, TaskRef, DEFAULT_AGE_MS, DEFAULT_MARK_CAP};
+
+/// Service configuration (defaults suit an interactive localhost daemon).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Resident worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Admission-control capacity: queued tasks across all tenants.
+    /// Resume may raise the effective capacity to fit a journaled
+    /// backlog that was already admitted before the restart.
+    pub queue_cap: usize,
+    /// Fair-queue marking cap (tasks per tenant per batch).
+    pub mark_cap: usize,
+    /// Aging threshold: a tenant head waiting past this escalates above
+    /// batch boundaries.
+    pub age_ms: u64,
+    /// Per-core retired-uop budget when a submission says `budget: 0`.
+    pub default_budget: u64,
+    /// Result-cache root (also holds manifests and the job journal).
+    pub cache_dir: PathBuf,
+    /// Upper bound on one long-poll wait, milliseconds.
+    pub poll_timeout_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_cap: 8192,
+            mark_cap: DEFAULT_MARK_CAP,
+            age_ms: DEFAULT_AGE_MS,
+            default_budget: 2_000,
+            cache_dir: PathBuf::from(emc_campaign::DEFAULT_CACHE_DIR),
+            poll_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// One admitted job and its live progress.
+struct Job {
+    id: String,
+    tenant: usize,
+    name: String,
+    specs: Vec<JobSpec>,
+    manifest: Manifest,
+    /// Task completions since the manifest was last saved.
+    manifest_dirty: u32,
+    admitted_ms: u64,
+    finished_ms: u64,
+    done: u64,
+    hits: u64,
+    executed: u64,
+    failed: u64,
+    running: u64,
+    complete: bool,
+    events: Vec<ProgressEvent>,
+}
+
+impl Job {
+    fn total(&self) -> u64 {
+        self.specs.len() as u64
+    }
+}
+
+/// Per-tenant fairness accounting.
+struct Tenant {
+    name: String,
+    running: u64,
+    done: u64,
+    failed: u64,
+    wait_ms: Histogram,
+    max_wait_ms: u64,
+    escalated: u64,
+}
+
+impl Tenant {
+    fn new(name: String) -> Self {
+        Tenant {
+            name,
+            running: 0,
+            done: 0,
+            failed: 0,
+            wait_ms: Histogram::new(),
+            max_wait_ms: 0,
+            escalated: 0,
+        }
+    }
+}
+
+/// Everything behind the state mutex.
+struct State {
+    jobs: Vec<Job>,
+    job_index: HashMap<String, usize>,
+    tenants: Vec<Tenant>,
+    tenant_index: HashMap<String, usize>,
+    queue: FairQueue,
+    next_job: u64,
+    draining: bool,
+    stopping: bool,
+    running: u64,
+    jobs_done: u64,
+    tasks_done: u64,
+    hits: u64,
+    executed: u64,
+    failed: u64,
+    /// Queue waits across all tenants (clock anomalies clamp, never
+    /// poison the distribution — `saturating_record`).
+    wait_all: Histogram,
+    /// Resolve latency of *executed* tasks only, so the distribution
+    /// matches the manifests' host-perf rows (cache hits are microsecond
+    /// deserializations that would drown the signal).
+    task_wall_ms: Histogram,
+    /// Job latency, admission → final task.
+    job_wall_ms: Histogram,
+    /// Host-perf aggregates over executed tasks (PR-8 JobRecord.wall).
+    exec_wall_ms: u64,
+    sim_cycles: u64,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    executor: Executor,
+    state: Mutex<State>,
+    /// Workers sleep here when the queue is empty.
+    work_cv: Condvar,
+    /// Long-pollers sleep here until a task completes.
+    event_cv: Condvar,
+    started: Instant,
+}
+
+/// Handle to the running service; clones share one core.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Inner>,
+}
+
+impl Service {
+    /// Build the service: open the cache, replay the submission journal
+    /// (crash resume), and size the queue.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        let cache = ResultCache::new(&cfg.cache_dir);
+        let executor = Executor::new(Some(cache)).with_tag("campaignd");
+        let journaled = read_journal(&cfg.cache_dir, cfg.default_budget);
+        let resumed_tasks: usize = journaled.iter().map(|(_, _, specs)| specs.len()).sum();
+        // Resumed work already passed admission control in a previous
+        // life; never bounce it against the cap it once fit under.
+        let capacity = cfg.queue_cap.max(resumed_tasks);
+        let state = State {
+            jobs: Vec::new(),
+            job_index: HashMap::new(),
+            tenants: Vec::new(),
+            tenant_index: HashMap::new(),
+            queue: FairQueue::new(capacity, cfg.mark_cap, cfg.age_ms),
+            next_job: 1,
+            draining: false,
+            stopping: false,
+            running: 0,
+            jobs_done: 0,
+            tasks_done: 0,
+            hits: 0,
+            executed: 0,
+            failed: 0,
+            wait_all: Histogram::new(),
+            task_wall_ms: Histogram::new(),
+            job_wall_ms: Histogram::new(),
+            exec_wall_ms: 0,
+            sim_cycles: 0,
+        };
+        let service = Service {
+            inner: Arc::new(Inner {
+                cfg,
+                executor,
+                state: Mutex::new(state),
+                work_cv: Condvar::new(),
+                event_cv: Condvar::new(),
+                started: Instant::now(),
+            }),
+        };
+        service.resume(journaled);
+        service
+    }
+
+    /// Milliseconds since the daemon started (the queue's virtual clock).
+    fn now_ms(&self) -> u64 {
+        self.inner.started.elapsed().as_millis() as u64
+    }
+
+    /// The configured cache root.
+    pub fn cache_dir(&self) -> &Path {
+        &self.inner.cfg.cache_dir
+    }
+
+    // -----------------------------------------------------------------
+    // Submission
+    // -----------------------------------------------------------------
+
+    /// Admit one submission: expand, journal, enqueue. The error side
+    /// carries the HTTP status the rejection maps to (400 bad request,
+    /// 429 queue full, 503 draining).
+    pub fn submit(&self, req: &SubmitRequest) -> Result<SubmitAck, (u16, Rejection)> {
+        let (name, specs) = expand_request(req, self.inner.cfg.default_budget)
+            .map_err(|e| (400, Rejection::of("bad-request", e)))?;
+        let now = self.now_ms();
+        let mut state = self.lock();
+        if state.draining {
+            let mut rej = Rejection::of("draining", "service is draining; not accepting jobs");
+            rej.queue_depth = state.queue.len() as u64;
+            return Err((503, rej));
+        }
+        let id = format!("j{}", state.next_job);
+        let tenant = tenant_index(&mut state, &req.tenant);
+        let tasks: Vec<TaskRef> = (0..specs.len())
+            .map(|index| TaskRef {
+                job: state.jobs.len(),
+                index,
+            })
+            .collect();
+        if let Err(full) = state.queue.admit(tenant, tasks, now) {
+            return Err((
+                429,
+                Rejection {
+                    error: "queue-full".into(),
+                    detail: format!(
+                        "{} queued + {} submitted exceeds capacity {}",
+                        full.depth,
+                        specs.len(),
+                        full.capacity
+                    ),
+                    queue_depth: full.depth as u64,
+                    capacity: full.capacity as u64,
+                },
+            ));
+        }
+        state.next_job += 1;
+
+        // Journal before acking: an acked job must survive kill -9.
+        if let Err(e) = write_journal(&self.inner.cfg.cache_dir, &id, req) {
+            eprintln!("# campaignd: {e}");
+        }
+        let job = self.register_job(&mut state, &id, tenant, name, specs, now);
+        let ack = SubmitAck {
+            id,
+            total: job,
+            queue_depth: state.queue.len() as u64,
+        };
+        drop(state);
+        self.inner.work_cv.notify_all();
+        Ok(ack)
+    }
+
+    /// Insert the job table row (manifest loaded or freshly saved).
+    /// Returns the task count.
+    fn register_job(
+        &self,
+        state: &mut State,
+        id: &str,
+        tenant: usize,
+        name: String,
+        specs: Vec<JobSpec>,
+        now: u64,
+    ) -> u64 {
+        let manifest = load_or_fresh_manifest(&self.inner.cfg.cache_dir, id, &specs);
+        let job = Job {
+            id: id.to_string(),
+            tenant,
+            name,
+            specs,
+            manifest,
+            manifest_dirty: 0,
+            admitted_ms: now,
+            finished_ms: 0,
+            done: 0,
+            hits: 0,
+            executed: 0,
+            failed: 0,
+            running: 0,
+            complete: false,
+            events: Vec::new(),
+        };
+        let total = job.total();
+        state.job_index.insert(job.id.clone(), state.jobs.len());
+        state.jobs.push(job);
+        total
+    }
+
+    // -----------------------------------------------------------------
+    // Crash resume
+    // -----------------------------------------------------------------
+
+    /// Replay journaled submissions: jobs whose manifests show every
+    /// task resolved register as done; everything else re-enqueues all
+    /// its tasks, and the ones that already ran resolve as instant cache
+    /// hits rather than re-executing.
+    fn resume(&self, journaled: Vec<(u64, SubmitRequest, Vec<JobSpec>)>) {
+        if journaled.is_empty() {
+            return;
+        }
+        let now = self.now_ms();
+        let mut state = self.lock();
+        for (seq, req, specs) in journaled {
+            let id = format!("j{seq}");
+            state.next_job = state.next_job.max(seq + 1);
+            let name = if req.name.is_empty() {
+                format!("{}:{}", req.tenant, req.suite)
+            } else {
+                req.name.clone()
+            };
+            let tenant = tenant_index(&mut state, &req.tenant);
+            let job_idx = state.jobs.len();
+            let total = self.register_job(&mut state, &id, tenant, name, specs, now);
+            let job = &mut state.jobs[job_idx];
+            let resolved = job
+                .manifest
+                .entries
+                .iter()
+                .filter(|e| e.status != JobStatus::Pending)
+                .count() as u64;
+            if resolved == total {
+                // Fully resolved before the restart: surface the final
+                // tallies without queueing anything.
+                job.complete = true;
+                job.finished_ms = now;
+                job.done = total;
+                job.hits = job
+                    .manifest
+                    .entries
+                    .iter()
+                    .filter(|e| e.outcome == "cache-hit")
+                    .count() as u64;
+                job.failed = job
+                    .manifest
+                    .entries
+                    .iter()
+                    .filter(|e| e.status == JobStatus::Failed)
+                    .count() as u64;
+                job.executed = total - job.hits - job.failed;
+                state.jobs_done += 1;
+                continue;
+            }
+            let tasks: Vec<TaskRef> = (0..total as usize)
+                .map(|index| TaskRef {
+                    job: job_idx,
+                    index,
+                })
+                .collect();
+            match state.queue.admit(tenant, tasks, now) {
+                Ok(n) => eprintln!("# campaignd: resumed {id} ({n} tasks re-queued)"),
+                Err(full) => {
+                    // Capacity was pre-sized to the journaled backlog, so
+                    // this only fires on a journal written by a larger
+                    // configuration. Fail the job loudly rather than
+                    // wedge it half-registered.
+                    let job = &mut state.jobs[job_idx];
+                    job.complete = true;
+                    job.finished_ms = now;
+                    job.failed = total;
+                    job.done = total;
+                    state.jobs_done += 1;
+                    eprintln!(
+                        "# campaignd: cannot resume {id}: queue full ({}/{})",
+                        full.depth, full.capacity
+                    );
+                }
+            }
+        }
+        drop(state);
+        self.inner.work_cv.notify_all();
+    }
+
+    // -----------------------------------------------------------------
+    // Workers
+    // -----------------------------------------------------------------
+
+    /// Spawn the resident worker pool.
+    pub fn start_workers(&self) -> Vec<JoinHandle<()>> {
+        let n = if self.inner.cfg.workers == 0 {
+            default_workers()
+        } else {
+            self.inner.cfg.workers
+        };
+        (0..n)
+            .map(|i| {
+                let svc = self.clone();
+                std::thread::Builder::new()
+                    .name(format!("campaignd-worker-{i}"))
+                    .spawn(move || svc.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect()
+    }
+
+    fn worker_loop(&self) {
+        let mut state = self.lock();
+        loop {
+            if state.stopping {
+                return;
+            }
+            let now = self.now_ms();
+            let Some(d) = state.queue.pop(now) else {
+                let (guard, _) = self
+                    .inner
+                    .work_cv
+                    .wait_timeout(state, Duration::from_millis(100))
+                    .expect("state lock");
+                state = guard;
+                continue;
+            };
+
+            // Dispatch bookkeeping under the lock, simulation outside it.
+            let tenant = d.tenant;
+            state.tenants[tenant].wait_ms.saturating_record(d.wait_ms);
+            state.tenants[tenant].max_wait_ms = state.tenants[tenant].max_wait_ms.max(d.wait_ms);
+            if d.escalated {
+                state.tenants[tenant].escalated += 1;
+            }
+            state.wait_all.saturating_record(d.wait_ms);
+            state.tenants[tenant].running += 1;
+            state.jobs[d.task.job].running += 1;
+            state.running += 1;
+            let spec = state.jobs[d.task.job].specs[d.task.index].clone();
+            drop(state);
+
+            let record = self.inner.executor.resolve(&spec);
+
+            state = self.lock();
+            self.complete_task(&mut state, d.task, tenant, &record);
+            self.inner.event_cv.notify_all();
+        }
+    }
+
+    /// Fold one resolved task into its job, tenant, manifest, and the
+    /// service aggregates; fire the progress event; detect completion.
+    fn complete_task(&self, state: &mut State, task: TaskRef, tenant: usize, record: &JobRecord) {
+        let now = self.now_ms();
+        let failed = record.result.is_none();
+        let hit = record.source == JobSource::CacheHit;
+
+        state.running -= 1;
+        state.tenants[tenant].running -= 1;
+        state.tenants[tenant].done += 1;
+        state.tasks_done += 1;
+        if failed {
+            state.failed += 1;
+            state.tenants[tenant].failed += 1;
+        } else if hit {
+            state.hits += 1;
+        } else {
+            state.executed += 1;
+        }
+        if record.source == JobSource::Executed {
+            let wall_ms = record.wall.as_millis() as u64;
+            state.task_wall_ms.saturating_record(wall_ms);
+            state.exec_wall_ms += wall_ms;
+            state.sim_cycles += record.sim_cycles();
+        }
+
+        let job = &mut state.jobs[task.job];
+        job.running -= 1;
+        job.done += 1;
+        if failed {
+            job.failed += 1;
+        } else if hit {
+            job.hits += 1;
+        } else {
+            job.executed += 1;
+        }
+
+        // Manifest row — same rules as the campaign engine: host-perf
+        // columns are only overwritten by real executions, so a resumed
+        // run's cache hits preserve the original measurements.
+        let entry = &mut job.manifest.entries[task.index];
+        entry.status = if failed {
+            JobStatus::Failed
+        } else {
+            JobStatus::Done
+        };
+        entry.attempts += record.attempts;
+        entry.outcome = record.outcome.clone();
+        if record.attempts > 0 {
+            entry.wall_ms = record.wall.as_millis() as u64;
+            entry.sim_cycles = record.sim_cycles();
+        }
+        job.manifest_dirty += 1;
+
+        job.complete = job.done == job.total();
+        if job.complete {
+            job.finished_ms = now;
+        }
+        let elapsed = Duration::from_millis(now.saturating_sub(job.admitted_ms));
+        let event = ProgressEvent {
+            seq: job.events.len() as u64 + 1,
+            label: record.label.clone(),
+            outcome: record.outcome.clone(),
+            done: job.done,
+            total: job.total(),
+            hits: job.hits,
+            failed: job.failed,
+            eta_ms: eta(job.done as usize, job.total() as usize, elapsed)
+                .map(|d| d.as_millis() as u64),
+        };
+        job.events.push(event);
+
+        // Save the manifest on a throttle (every 16 completions) and at
+        // completion: a crash between saves costs manifest rows, not
+        // results — the cache already holds them, and resume replays the
+        // lost rows as instant hits.
+        if job.complete || job.manifest_dirty >= 16 {
+            job.manifest_dirty = 0;
+            if let Err(e) = job.manifest.save(&self.inner.cfg.cache_dir) {
+                eprintln!("# campaignd: {e}");
+            }
+        }
+        if job.complete {
+            let job_wall = now.saturating_sub(job.admitted_ms);
+            state.job_wall_ms.saturating_record(job_wall);
+            state.jobs_done += 1;
+        }
+
+        if state.draining && state.queue.is_empty() && state.running == 0 {
+            state.stopping = true;
+            self.inner.work_cv.notify_all();
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------
+
+    /// Snapshot one job's status.
+    pub fn status(&self, id: &str) -> Option<JobStatusView> {
+        let state = self.lock();
+        let job = &state.jobs[*state.job_index.get(id)?];
+        let wall_ms = if job.complete {
+            job.finished_ms.saturating_sub(job.admitted_ms)
+        } else {
+            self.now_ms().saturating_sub(job.admitted_ms)
+        };
+        let lifecycle = if job.complete {
+            JobState::Done
+        } else if job.done > 0 {
+            JobState::Running
+        } else {
+            JobState::Queued
+        };
+        Some(JobStatusView {
+            id: job.id.clone(),
+            tenant: state.tenants[job.tenant].name.clone(),
+            name: job.name.clone(),
+            state: lifecycle,
+            total: job.total(),
+            done: job.done,
+            hits: job.hits,
+            executed: job.executed,
+            failed: job.failed,
+            eta_ms: eta(
+                job.done as usize,
+                job.total() as usize,
+                Duration::from_millis(wall_ms),
+            )
+            .map(|d| d.as_millis() as u64),
+            wall_ms,
+        })
+    }
+
+    /// Long-poll the job's event stream: block until an event with
+    /// `seq > since` exists, the job completes, or the timeout expires
+    /// (bounded by the configured `poll_timeout_ms`).
+    pub fn events(&self, id: &str, since: u64, timeout_ms: u64) -> Option<EventBatch> {
+        let deadline =
+            Instant::now() + Duration::from_millis(timeout_ms.min(self.inner.cfg.poll_timeout_ms));
+        let mut state = self.lock();
+        loop {
+            let idx = *state.job_index.get(id)?;
+            let job = &state.jobs[idx];
+            let fresh: Vec<ProgressEvent> = job
+                .events
+                .iter()
+                .filter(|e| e.seq > since)
+                .cloned()
+                .collect();
+            if !fresh.is_empty() || job.complete {
+                let next = fresh.last().map_or(since, |e| e.seq);
+                return Some(EventBatch {
+                    id: job.id.clone(),
+                    next,
+                    complete: job.complete,
+                    events: fresh,
+                });
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                // Timeout: an empty, incomplete batch tells the client
+                // to poll again from the same cursor.
+                return Some(EventBatch {
+                    id: id.to_string(),
+                    next: since,
+                    complete: false,
+                    events: Vec::new(),
+                });
+            }
+            let (guard, _) = self
+                .inner
+                .event_cv
+                .wait_timeout(state, left)
+                .expect("state lock");
+            state = guard;
+        }
+    }
+
+    /// Service-wide statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.lock();
+        let mut tenants: Vec<TenantStats> = state
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TenantStats {
+                tenant: t.name.clone(),
+                queued: state.queue.depth_of(i) as u64,
+                running: t.running,
+                done: t.done,
+                failed: t.failed,
+                wait_ms: emc_types::HistSummary::of(&t.wait_ms),
+                max_wait_ms: t.max_wait_ms,
+                escalated: t.escalated,
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let hit_rate = if state.tasks_done == 0 {
+            0.0
+        } else {
+            state.hits as f64 / state.tasks_done as f64
+        };
+        let mcycles_per_sec = if state.exec_wall_ms == 0 {
+            0.0
+        } else {
+            (state.sim_cycles as f64 / 1e6) / (state.exec_wall_ms as f64 / 1e3)
+        };
+        ServiceStats {
+            uptime_ms: self.now_ms(),
+            workers: if self.inner.cfg.workers == 0 {
+                default_workers() as u64
+            } else {
+                self.inner.cfg.workers as u64
+            },
+            queue_depth: state.queue.len() as u64,
+            queue_cap: state.queue.capacity() as u64,
+            draining: state.draining,
+            jobs: state.jobs.len() as u64,
+            jobs_done: state.jobs_done,
+            tasks_done: state.tasks_done,
+            hits: state.hits,
+            executed: state.executed,
+            failed: state.failed,
+            hit_rate,
+            wait_ms: emc_types::HistSummary::of(&state.wait_all),
+            task_wall_ms: emc_types::HistSummary::of(&state.task_wall_ms),
+            job_wall_ms: emc_types::HistSummary::of(&state.job_wall_ms),
+            mcycles_per_sec,
+            tenants,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Lifecycle
+    // -----------------------------------------------------------------
+
+    /// Stop accepting submissions; once the queue drains and the last
+    /// in-flight task finishes, the workers and accept loop exit.
+    pub fn drain(&self) -> JsonValue {
+        let mut state = self.lock();
+        state.draining = true;
+        if state.queue.is_empty() && state.running == 0 {
+            state.stopping = true;
+        }
+        let doc = JsonValue::obj(vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("draining", JsonValue::Bool(true)),
+            ("queue_depth", u(state.queue.len() as u64)),
+            ("running", u(state.running)),
+        ]);
+        drop(state);
+        self.inner.work_cv.notify_all();
+        self.inner.event_cv.notify_all();
+        doc
+    }
+
+    /// True once drain (or a direct stop) has fully landed.
+    pub fn stopped(&self) -> bool {
+        self.lock().stopping
+    }
+
+    /// Abrupt stop for tests: workers exit after their current task.
+    pub fn stop(&self) {
+        self.lock().stopping = true;
+        self.inner.work_cv.notify_all();
+        self.inner.event_cv.notify_all();
+    }
+
+    /// Block until every admitted job is complete (test helper).
+    pub fn wait_all_jobs(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if state.jobs.iter().all(|j| j.complete) {
+                return true;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = self
+                .inner
+                .event_cv
+                .wait_timeout(state, left.min(Duration::from_millis(200)))
+                .expect("state lock");
+            state = guard;
+        }
+    }
+
+    /// Accept loop: thread per connection, `Connection: close`, polls
+    /// the stop flag between accepts. Returns when the service stops.
+    pub fn serve(&self, listener: TcpListener) {
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        loop {
+            if self.stopped() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let svc = self.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("campaignd-conn".into())
+                        .spawn(move || {
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                            let (status, body) = match read_request(&stream) {
+                                Ok(req) => handle_request(&svc, &req),
+                                Err(e) => (400, Rejection::of("bad-request", e).to_json()),
+                            };
+                            let _ = write_response(&stream, status, &body.to_json());
+                        });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("# campaignd: accept: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.state.lock().expect("state lock")
+    }
+}
+
+/// Get or create the tenant row for `name`.
+fn tenant_index(state: &mut State, name: &str) -> usize {
+    if let Some(&i) = state.tenant_index.get(name) {
+        return i;
+    }
+    let i = state.tenants.len();
+    state.tenants.push(Tenant::new(name.to_string()));
+    state.tenant_index.insert(name.to_string(), i);
+    i
+}
+
+/// Load the job's manifest if one matches its task list (crash resume),
+/// else create and persist a fresh one.
+fn load_or_fresh_manifest(cache_dir: &Path, id: &str, specs: &[JobSpec]) -> Manifest {
+    let name = format!("svc-{id}");
+    let keys: Vec<(emc_campaign::JobKey, String)> =
+        specs.iter().map(|s| (s.key(), s.label.clone())).collect();
+    let key_list: Vec<emc_campaign::JobKey> = keys.iter().map(|(k, _)| k.clone()).collect();
+    if let Some(m) = Manifest::load(cache_dir, &name) {
+        if m.id == Manifest::id_of(&key_list) && m.entries.len() == specs.len() {
+            return m;
+        }
+        eprintln!("# campaignd: manifest {name} does not match its journal; starting fresh");
+    }
+    let m = Manifest::fresh(&name, &keys);
+    if let Err(e) = m.save(cache_dir) {
+        eprintln!("# campaignd: {e}");
+    }
+    m
+}
+
+// ---------------------------------------------------------------------
+// Submission expansion
+// ---------------------------------------------------------------------
+
+/// Expand a wire submission into `(display name, concrete specs)`:
+/// suite × optional (prefetcher, EMC) narrowing × `repeat` seed-bumped
+/// copies. Pure, so the grid a submission produces is unit-testable.
+///
+/// # Errors
+///
+/// Names the unknown suite or prefetcher label (with the valid options).
+pub fn expand_request(
+    req: &SubmitRequest,
+    default_budget: u64,
+) -> Result<(String, Vec<JobSpec>), String> {
+    let budget = if req.budget == 0 {
+        default_budget
+    } else {
+        req.budget
+    };
+    let base = match req.suite.as_str() {
+        "quad" => quad_jobs(budget),
+        "homog" => homog_jobs(budget),
+        "mix8-1mc" => mix8_jobs(SystemConfig::eight_core_1mc(), budget),
+        "mix8-2mc" => mix8_jobs(SystemConfig::eight_core_2mc(), budget),
+        other => {
+            return Err(format!(
+                "unknown suite {other:?} (quad, homog, mix8-1mc, mix8-2mc)"
+            ))
+        }
+    };
+    let narrowed: Vec<JobSpec> = base
+        .into_iter()
+        .filter(|s| {
+            req.prefetcher
+                .as_deref()
+                .is_none_or(|pf| s.cfg.prefetcher.label().eq_ignore_ascii_case(pf))
+        })
+        .filter(|s| req.emc.is_none_or(|emc| s.cfg.emc.enabled == emc))
+        .collect();
+    if narrowed.is_empty() {
+        let labels: Vec<&str> = emc_types::PrefetcherKind::ALL
+            .iter()
+            .map(|p| p.label())
+            .collect();
+        return Err(format!(
+            "no jobs match prefetcher {:?} / emc {:?} (prefetchers: {})",
+            req.prefetcher,
+            req.emc,
+            labels.join(", ")
+        ));
+    }
+    let mut specs = Vec::with_capacity(narrowed.len() * req.repeat as usize);
+    for rep in 0..req.repeat.max(1) {
+        for s in &narrowed {
+            let mut s = s.clone();
+            s.cfg.seed ^= req.seed_bump + rep;
+            if req.repeat > 1 {
+                s.label = format!("{}#{rep}", s.label);
+            }
+            specs.push(s);
+        }
+    }
+    let name = if req.name.is_empty() {
+        format!("{}:{}", req.tenant, req.suite)
+    } else {
+        req.name.clone()
+    };
+    Ok((name, specs))
+}
+
+// ---------------------------------------------------------------------
+// Submission journal
+// ---------------------------------------------------------------------
+
+fn journal_dir(cache_dir: &Path) -> PathBuf {
+    cache_dir.join("service").join("jobs")
+}
+
+/// Persist one admitted submission (atomic temp + rename, like every
+/// other artifact under the cache root).
+fn write_journal(cache_dir: &Path, id: &str, req: &SubmitRequest) -> Result<(), String> {
+    let dir = journal_dir(cache_dir);
+    fs::create_dir_all(&dir).map_err(|e| format!("journal: create {}: {e}", dir.display()))?;
+    let doc = JsonValue::obj(vec![
+        ("schema", SVC_SCHEMA.into()),
+        ("id", id.into()),
+        ("request", req.to_json()),
+    ]);
+    let mut text = doc.to_json();
+    text.push('\n');
+    let tmp = dir.join(format!(".{id}.tmp"));
+    let path = dir.join(format!("{id}.json"));
+    fs::write(&tmp, &text).map_err(|e| format!("journal: write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, &path).map_err(|e| format!("journal: rename {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Read every journaled submission, expanded and ordered by job id.
+/// Corrupt or inconsistent entries are logged and skipped — resume must
+/// never be wedged by one bad file. Expansion uses the *configured*
+/// default budget: restarting with a different `--budget` changes the
+/// keys a `budget: 0` submission expands to, which would orphan its
+/// manifest and cache entries — so keep the flag stable across restarts.
+fn read_journal(cache_dir: &Path, default_budget: u64) -> Vec<(u64, SubmitRequest, Vec<JobSpec>)> {
+    let dir = journal_dir(cache_dir);
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "json") {
+            continue;
+        }
+        let parsed = fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| JsonValue::parse(&t))
+            .and_then(|doc| {
+                let id = doc
+                    .get("id")
+                    .and_then(|v| v.as_str())
+                    .ok_or("missing id")?
+                    .to_string();
+                let seq: u64 = id
+                    .strip_prefix('j')
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("bad id {id:?}"))?;
+                let req = SubmitRequest::from_json(doc.get("request").ok_or("missing request")?)?;
+                Ok((seq, req))
+            });
+        match parsed {
+            Ok((seq, req)) => {
+                // Re-expansion is deterministic: same request, same code
+                // fingerprint, same specs — so the re-queued tasks carry
+                // the same cache keys the pre-crash run stored under.
+                match expand_request(&req, default_budget) {
+                    Ok((_, specs)) => out.push((seq, req, specs)),
+                    Err(e) => eprintln!("# campaignd: journal {}: {e}", path.display()),
+                }
+            }
+            Err(e) => eprintln!("# campaignd: journal {}: {e}", path.display()),
+        }
+    }
+    out.sort_by_key(|(seq, _, _)| *seq);
+    out
+}
+
+// ---------------------------------------------------------------------
+// HTTP routing
+// ---------------------------------------------------------------------
+
+/// Route one parsed request to the service — the entire protocol
+/// surface, pure of sockets:
+///
+/// | method & path                | handler                       |
+/// |------------------------------|-------------------------------|
+/// | `POST /v1/jobs`              | [`Service::submit`]           |
+/// | `GET /v1/jobs/<id>`          | [`Service::status`]           |
+/// | `GET /v1/jobs/<id>/events`   | [`Service::events`] (long-poll, `?since=N&timeout_ms=M`) |
+/// | `GET /v1/stats`              | [`Service::stats`]            |
+/// | `GET /v1/healthz`            | liveness probe                |
+/// | `POST /v1/drain`             | [`Service::drain`]            |
+pub fn handle_request(svc: &Service, req: &Request) -> (u16, JsonValue) {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => (
+            200,
+            JsonValue::obj(vec![
+                ("schema", SVC_SCHEMA.into()),
+                ("ok", JsonValue::Bool(true)),
+                ("uptime_ms", u(svc.now_ms())),
+            ]),
+        ),
+        ("POST", ["v1", "jobs"]) => {
+            let submission = JsonValue::parse(&req.body)
+                .map_err(|e| format!("request body is not JSON: {e}"))
+                .and_then(|doc| SubmitRequest::from_json(&doc));
+            match submission {
+                Ok(sr) => match svc.submit(&sr) {
+                    Ok(ack) => (200, ack.to_json()),
+                    Err((code, rej)) => (code, rej.to_json()),
+                },
+                Err(e) => (400, Rejection::of("bad-request", e).to_json()),
+            }
+        }
+        ("GET", ["v1", "jobs", id]) => match svc.status(id) {
+            Some(view) => (200, view.to_json()),
+            None => not_found(id),
+        },
+        ("GET", ["v1", "jobs", id, "events"]) => {
+            let since = req.query_u64("since", 0);
+            let timeout = req.query_u64("timeout_ms", svc.inner.cfg.poll_timeout_ms);
+            match svc.events(id, since, timeout) {
+                Some(batch) => (200, batch.to_json()),
+                None => not_found(id),
+            }
+        }
+        ("GET", ["v1", "stats"]) => (200, svc.stats().to_json()),
+        ("POST", ["v1", "drain"]) => (200, svc.drain()),
+        (_, ["v1", ..]) => (
+            405,
+            Rejection::of(
+                "bad-request",
+                format!("no route for {} {}", req.method, req.path),
+            )
+            .to_json(),
+        ),
+        _ => (
+            404,
+            Rejection::of("not-found", format!("unknown path {}", req.path)).to_json(),
+        ),
+    }
+}
+
+fn not_found(id: &str) -> (u16, JsonValue) {
+    (
+        404,
+        Rejection::of("not-found", format!("no job {id:?}")).to_json(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpcache(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("emc-campaignd-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn small_cfg(tag: &str) -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 256,
+            mark_cap: 4,
+            age_ms: 10_000,
+            default_budget: 300,
+            cache_dir: tmpcache(tag),
+            poll_timeout_ms: 2_000,
+        }
+    }
+
+    /// One narrowed submission: quad suite × No-PF × EMC off = 10 jobs.
+    fn small_request(tenant: &str) -> SubmitRequest {
+        let mut req = SubmitRequest::new(tenant, "quad");
+        req.prefetcher = Some("No-PF".into());
+        req.emc = Some(false);
+        req
+    }
+
+    #[test]
+    fn expand_request_covers_suites_filters_and_repeats() {
+        let d = 1_000;
+        for (suite, n) in [
+            ("quad", 80),
+            ("homog", 64),
+            ("mix8-1mc", 80),
+            ("mix8-2mc", 80),
+        ] {
+            let (_, specs) = expand_request(&SubmitRequest::new("t", suite), d).unwrap();
+            assert_eq!(specs.len(), n, "{suite}");
+        }
+        assert!(expand_request(&SubmitRequest::new("t", "octo"), d)
+            .unwrap_err()
+            .contains("unknown suite"));
+
+        // Narrowing: one prefetcher (case-insensitive) × one EMC side.
+        let mut req = SubmitRequest::new("t", "quad");
+        req.prefetcher = Some("ghb".into());
+        req.emc = Some(true);
+        let (_, specs) = expand_request(&req, d).unwrap();
+        assert_eq!(specs.len(), 10);
+        assert!(specs
+            .iter()
+            .all(|s| s.cfg.prefetcher.label() == "GHB" && s.cfg.emc.enabled));
+
+        req.prefetcher = Some("NotAPrefetcher".into());
+        assert!(expand_request(&req, d).unwrap_err().contains("GHB"));
+
+        // Repeat fans out distinct seed grids with suffixed labels.
+        let mut rep = small_request("t");
+        rep.repeat = 3;
+        rep.seed_bump = 100;
+        let (_, specs) = expand_request(&rep, d).unwrap();
+        assert_eq!(specs.len(), 30);
+        assert!(specs[0].label.ends_with("#0"));
+        assert!(specs[29].label.ends_with("#2"));
+        let keys: std::collections::HashSet<String> = specs.iter().map(|s| s.key().0).collect();
+        assert_eq!(keys.len(), 30, "every repeat copy is a distinct job");
+    }
+
+    #[test]
+    fn expand_request_budget_default_and_override() {
+        let (_, specs) = expand_request(&small_request("t"), 777).unwrap();
+        assert!(specs.iter().all(|s| s.budget == 777), "0 means default");
+        let mut req = small_request("t");
+        req.budget = 1234;
+        let (_, specs) = expand_request(&req, 777).unwrap();
+        assert!(specs.iter().all(|s| s.budget == 1234));
+    }
+
+    #[test]
+    fn submit_run_stream_and_warm_resubmit() {
+        let cfg = small_cfg("roundtrip");
+        let cache_dir = cfg.cache_dir.clone();
+        let svc = Service::new(cfg);
+        let workers = svc.start_workers();
+
+        let ack = svc.submit(&small_request("alice")).expect("admitted");
+        assert_eq!(ack.id, "j1");
+        assert_eq!(ack.total, 10);
+
+        // Long-poll the ordered event stream to completion.
+        let mut since = 0;
+        let mut seen = Vec::new();
+        loop {
+            let batch = svc.events("j1", since, 1_000).expect("job exists");
+            for e in &batch.events {
+                seen.push(e.seq);
+            }
+            since = batch.next;
+            if batch.complete {
+                break;
+            }
+        }
+        assert_eq!(seen, (1..=10).collect::<Vec<u64>>(), "ordered, gap-free");
+
+        let status = svc.status("j1").expect("status");
+        assert_eq!(status.state, JobState::Done);
+        assert_eq!(status.done, 10);
+        assert_eq!(status.executed, 10, "cold cache: everything executed");
+        assert_eq!(status.tenant, "alice");
+        assert_eq!(status.failed, 0);
+
+        // Identical resubmission: all hits, zero re-execution.
+        let ack2 = svc.submit(&small_request("bob")).expect("admitted");
+        assert!(svc.wait_all_jobs(Duration::from_secs(60)));
+        let status2 = svc.status(&ack2.id).unwrap();
+        assert_eq!(status2.hits, 10, "warm resubmit is pure cache hits");
+        assert_eq!(status2.executed, 0);
+
+        let stats = svc.stats();
+        assert_eq!(stats.tasks_done, 20);
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.executed, 10);
+        assert!((stats.hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(stats.jobs_done, 2);
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!(stats.task_wall_ms.count, 10, "executed tasks only");
+        assert!(stats.mcycles_per_sec > 0.0, "host-perf aggregated");
+
+        // Manifests on disk agree with the service's tallies.
+        let m = Manifest::load(&cache_dir, "svc-j1").expect("manifest");
+        assert_eq!(m.done_count(), 10);
+        assert!(m.entries.iter().all(|e| e.sim_cycles > 0));
+
+        svc.stop();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn admission_control_rejects_with_structured_reason() {
+        let mut cfg = small_cfg("admission");
+        cfg.queue_cap = 15; // one 10-task job fits, a second cannot
+        cfg.workers = 1;
+        let cache_dir = cfg.cache_dir.clone();
+        let svc = Service::new(cfg);
+        // No workers started: the queue stays full.
+        svc.submit(&small_request("alice")).expect("first fits");
+        let (code, rej) = svc.submit(&small_request("bob")).unwrap_err();
+        assert_eq!(code, 429);
+        assert_eq!(rej.error, "queue-full");
+        assert_eq!(rej.capacity, 15);
+        assert!(rej.queue_depth >= 10);
+        assert!(rej.detail.contains("capacity"));
+        let _ = fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn drain_rejects_submissions_and_stops_when_idle() {
+        let cfg = small_cfg("drain");
+        let cache_dir = cfg.cache_dir.clone();
+        let svc = Service::new(cfg);
+        let doc = svc.drain();
+        assert!(matches!(doc.get("draining"), Some(JsonValue::Bool(true))));
+        let (code, rej) = svc.submit(&small_request("alice")).unwrap_err();
+        assert_eq!(code, 503);
+        assert_eq!(rej.error, "draining");
+        assert!(svc.stopped(), "idle drain stops immediately");
+        let _ = fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn journal_round_trips_submissions_for_resume() {
+        let dir = tmpcache("journal");
+        let mut req = small_request("carol");
+        req.repeat = 2;
+        req.seed_bump = 5;
+        write_journal(&dir, "j3", &req).unwrap();
+        write_journal(&dir, "j10", &small_request("dave")).unwrap();
+        // A corrupt journal entry is skipped, not fatal.
+        fs::write(journal_dir(&dir).join("j4.json"), "{broken").unwrap();
+
+        let entries = read_journal(&dir, 300);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, 3, "ordered by id");
+        assert_eq!(entries[1].0, 10);
+        assert_eq!(entries[0].1, req, "request round-trips exactly");
+        assert_eq!(entries[0].2.len(), 20, "specs re-expanded");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn restart_resumes_without_reexecuting_completed_work() {
+        let cfg = small_cfg("resume");
+        let cache_dir = cfg.cache_dir.clone();
+
+        // First life: run one job to completion, admit a second, then
+        // stop abruptly with its tasks still queued (no workers ever saw
+        // them — the moral equivalent of kill -9 mid-queue).
+        {
+            let svc = Service::new(cfg.clone());
+            let workers = svc.start_workers();
+            svc.submit(&small_request("alice")).unwrap();
+            assert!(svc.wait_all_jobs(Duration::from_secs(120)));
+            svc.stop();
+            for w in workers {
+                w.join().unwrap();
+            }
+            svc.submit(&small_request("bob")).unwrap();
+        }
+
+        // Second life: both journals replay. Job 1 is already complete
+        // per its manifest; job 2's tasks re-queue and resolve as pure
+        // cache hits (alice's run populated the shared cache).
+        let svc = Service::new(cfg);
+        let s1 = svc.status("j1").expect("job 1 survives");
+        assert_eq!(s1.state, JobState::Done);
+        assert_eq!(s1.done, 10);
+        let s2 = svc.status("j2").expect("job 2 survives");
+        assert_eq!(s2.state, JobState::Queued);
+
+        let workers = svc.start_workers();
+        assert!(svc.wait_all_jobs(Duration::from_secs(120)));
+        let s2 = svc.status("j2").unwrap();
+        assert_eq!(s2.state, JobState::Done);
+        assert_eq!(s2.hits, 10, "resume re-executes nothing");
+        assert_eq!(s2.executed, 0);
+        let stats = svc.stats();
+        assert_eq!(stats.executed, 0, "this life simulated nothing");
+        svc.stop();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn router_handles_protocol_without_sockets() {
+        let cfg = small_cfg("router");
+        let cache_dir = cfg.cache_dir.clone();
+        let svc = Service::new(cfg);
+
+        let get = |path: &str| Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: HashMap::new(),
+            body: String::new(),
+        };
+
+        let (code, body) = handle_request(&svc, &get("/v1/healthz"));
+        assert_eq!(code, 200);
+        assert!(matches!(body.get("ok"), Some(JsonValue::Bool(true))));
+
+        let (code, body) = handle_request(&svc, &get("/v1/jobs/j99"));
+        assert_eq!(code, 404);
+        assert_eq!(
+            body.get("error").and_then(|v| v.as_str()),
+            Some("not-found")
+        );
+
+        let (code, _) = handle_request(&svc, &get("/v1/nonsense"));
+        assert_eq!(code, 405, "unknown v1 route");
+        let (code, _) = handle_request(&svc, &get("/other"));
+        assert_eq!(code, 404);
+
+        let (code, body) = handle_request(
+            &svc,
+            &Request {
+                method: "POST".into(),
+                path: "/v1/jobs".into(),
+                query: HashMap::new(),
+                body: "{not json".into(),
+            },
+        );
+        assert_eq!(code, 400);
+        assert_eq!(
+            body.get("error").and_then(|v| v.as_str()),
+            Some("bad-request")
+        );
+
+        let (code, body) = handle_request(&svc, &get("/v1/stats"));
+        assert_eq!(code, 200);
+        let stats = ServiceStats::from_json(&body).expect("stats document decodes");
+        assert_eq!(stats.jobs, 0);
+        let _ = fs::remove_dir_all(cache_dir);
+    }
+}

@@ -77,6 +77,18 @@ impl Histogram {
         self.buckets[bucket_index(value)] += 1;
     }
 
+    /// Record one wall-clock duration sample that may come from an
+    /// untrusted clock. Values at or above 2^63 (a clock anomaly: no
+    /// real wait is 292 years in nanoseconds) are clamped to
+    /// `2^63 - 1` before recording, so downstream `sum` arithmetic
+    /// keeps headroom even when many anomalous samples merge, while
+    /// `count` still advances by exactly one per call — a service
+    /// wait-time histogram can never lose samples or panic because a
+    /// host clock stepped backwards and a subtraction wrapped.
+    pub fn saturating_record(&mut self, value: u64) {
+        self.record(value.min((1u64 << 63) - 1));
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -268,6 +280,33 @@ mod tests {
         let mut ba = b.clone();
         ba.merge(&a);
         assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn saturating_record_clamps_clock_anomalies_and_preserves_count() {
+        let mut h = Histogram::new();
+        // A wrapped `now - then` subtraction produces values like these;
+        // none may panic or be dropped.
+        for v in [u64::MAX, u64::MAX - 1, 1u64 << 63, (1u64 << 63) - 1] {
+            h.saturating_record(v);
+        }
+        assert_eq!(h.count, 4, "every anomalous sample is counted");
+        assert_eq!(h.max, (1 << 63) - 1, "clamped to 2^63 - 1");
+        assert_eq!(h.min, (1 << 63) - 1);
+        // All four land in bucket 63 ([2^62, 2^63 - 1]); the u64::MAX
+        // bucket stays empty because the values were clamped.
+        assert_eq!(h.buckets[63], 4);
+        assert_eq!(h.buckets[64], 0);
+        // Sane values pass through unchanged.
+        h.saturating_record(42);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 42);
+        // Merging two anomaly-heavy histograms still cannot overflow
+        // count/sum arithmetic (sum saturates, count adds exactly).
+        let other = h.clone();
+        h.merge(&other);
+        assert_eq!(h.count, 10);
+        assert!(h.percentile(99.0) < (1 << 63));
     }
 
     #[test]

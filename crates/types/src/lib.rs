@@ -34,6 +34,7 @@ pub mod req;
 pub mod rng;
 pub mod sample;
 pub mod stats;
+pub mod svc;
 pub mod trace;
 pub mod uop;
 
@@ -54,6 +55,10 @@ pub use req::{AccessKind, MemReq, ReqId, ReqTimeline, Requester};
 pub use rng::{seeded_rng, substream};
 pub use sample::MetricSample;
 pub use stats::{CoreStats, EmcStats, MemStats, PrefetchStats, RingStats, Stats};
+pub use svc::{
+    EventBatch, HistSummary, JobState, JobStatusView, ProgressEvent, Rejection, ServiceStats,
+    SubmitAck, SubmitRequest, TenantStats, SVC_SCHEMA,
+};
 pub use trace::{MissJourney, TraceEvent, TraceSink, TraceTrack, DEFAULT_TRACE_CAP};
 pub use uop::{BranchCond, Reg, UopKind, NUM_ARCH_REGS};
 

@@ -1,0 +1,872 @@
+//! Wire schemas for the `campaignd` experiment service
+//! (`emc-campaignd-v1`).
+//!
+//! These are the request/response/status documents exchanged between
+//! the `campaignd` daemon and its clients (the `campaign` CLI's
+//! `submit` / `watch` / `svc-status` subcommands, `curl`, CI). They
+//! live here — not in the service crate — because both sides of the
+//! protocol need them and `emc-types` is the dependency root: the
+//! daemon encodes what the CLI decodes and vice versa, through the same
+//! hand-rolled [`JsonValue`] model the rest of the workspace uses (no
+//! external JSON crate on either side).
+//!
+//! Every top-level document carries `"schema": "emc-campaignd-v1"`;
+//! decoders reject mismatched schemas so a client talking to a future
+//! incompatible daemon fails loudly instead of misparsing.
+
+use crate::codec::{get_bool, get_f64, get_str, get_u64, u};
+use crate::hist::Histogram;
+use crate::json::JsonValue;
+
+/// Schema tag stamped into (and required from) every protocol document.
+pub const SVC_SCHEMA: &str = "emc-campaignd-v1";
+
+/// Check a decoded document's schema tag.
+fn check_schema(doc: &JsonValue) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != SVC_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SVC_SCHEMA:?}"));
+    }
+    Ok(())
+}
+
+fn opt_u64(doc: &JsonValue, key: &str) -> Option<u64> {
+    doc.get(key).and_then(|v| v.as_f64()).map(|n| n as u64)
+}
+
+// ---------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------
+
+/// A job submission: one of the standard suites, optionally narrowed to
+/// a single (prefetcher, EMC) grid cell and fanned out across seeds.
+///
+/// The daemon expands this into concrete `JobSpec`s (suite × repeat),
+/// so the wire format stays plain strings and numbers — clients never
+/// serialize a full `SystemConfig`. `repeat > 1` submits `repeat`
+/// copies of the grid with seeds bumped `seed_bump .. seed_bump +
+/// repeat - 1`, which is how load tests queue thousands of distinct
+/// jobs from a one-line request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Who is submitting (fair-queue identity; required, non-empty).
+    pub tenant: String,
+    /// Display name for the job ("" = derived from the suite).
+    pub name: String,
+    /// Suite: `quad`, `homog`, `mix8-1mc`, or `mix8-2mc`.
+    pub suite: String,
+    /// Per-core retired-uop budget (0 = daemon default).
+    pub budget: u64,
+    /// XORed into every config seed — distinct grids for load tests.
+    pub seed_bump: u64,
+    /// Number of seed-bumped copies of the grid to queue (min 1).
+    pub repeat: u64,
+    /// Narrow the 8-config grid to one prefetcher label (e.g. `GHB`).
+    pub prefetcher: Option<String>,
+    /// Narrow the 8-config grid to EMC on (`true`) or off (`false`).
+    pub emc: Option<bool>,
+}
+
+impl SubmitRequest {
+    /// A submission of `suite` by `tenant` with daemon defaults.
+    pub fn new(tenant: impl Into<String>, suite: impl Into<String>) -> Self {
+        SubmitRequest {
+            tenant: tenant.into(),
+            name: String::new(),
+            suite: suite.into(),
+            budget: 0,
+            seed_bump: 0,
+            repeat: 1,
+            prefetcher: None,
+            emc: None,
+        }
+    }
+
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("tenant", self.tenant.as_str().into()),
+            ("name", self.name.as_str().into()),
+            ("suite", self.suite.as_str().into()),
+            ("budget", u(self.budget)),
+            ("seed_bump", u(self.seed_bump)),
+            ("repeat", u(self.repeat)),
+        ];
+        if let Some(pf) = &self.prefetcher {
+            pairs.push(("prefetcher", pf.as_str().into()));
+        }
+        if let Some(emc) = self.emc {
+            pairs.push(("emc", JsonValue::Bool(emc)));
+        }
+        JsonValue::obj(pairs)
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing/mistyped field, the schema mismatch, or an
+    /// empty tenant.
+    pub fn from_json(doc: &JsonValue) -> Result<SubmitRequest, String> {
+        check_schema(doc)?;
+        let tenant = get_str(doc, "tenant")?.to_string();
+        if tenant.is_empty() {
+            return Err("tenant must be non-empty".into());
+        }
+        Ok(SubmitRequest {
+            tenant,
+            name: doc
+                .get("name")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+            suite: get_str(doc, "suite")?.to_string(),
+            budget: opt_u64(doc, "budget").unwrap_or(0),
+            seed_bump: opt_u64(doc, "seed_bump").unwrap_or(0),
+            repeat: opt_u64(doc, "repeat").unwrap_or(1).max(1),
+            prefetcher: doc
+                .get("prefetcher")
+                .and_then(|v| v.as_str())
+                .map(str::to_string),
+            emc: doc.get("emc").and_then(|v| match v {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            }),
+        })
+    }
+}
+
+/// Acceptance of a submission (`POST /v1/jobs`, 200).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitAck {
+    /// The new job's id (use with `/v1/jobs/<id>`).
+    pub id: String,
+    /// Tasks queued for this job.
+    pub total: u64,
+    /// Service-wide queued tasks after admission.
+    pub queue_depth: u64,
+}
+
+impl SubmitAck {
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("id", self.id.as_str().into()),
+            ("total", u(self.total)),
+            ("queue_depth", u(self.queue_depth)),
+        ])
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field or schema mismatch.
+    pub fn from_json(doc: &JsonValue) -> Result<SubmitAck, String> {
+        check_schema(doc)?;
+        Ok(SubmitAck {
+            id: get_str(doc, "id")?.to_string(),
+            total: get_u64(doc, "total")?,
+            queue_depth: get_u64(doc, "queue_depth")?,
+        })
+    }
+}
+
+/// A structured rejection (`429` queue-full, `503` draining, `400`
+/// bad request, `404` unknown job).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Machine-readable reason: `queue-full`, `draining`,
+    /// `bad-request`, `not-found`.
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Queued tasks at rejection time.
+    pub queue_depth: u64,
+    /// Admission-control capacity (0 when not applicable).
+    pub capacity: u64,
+}
+
+impl Rejection {
+    /// A rejection with zero queue context (bad request / not found).
+    pub fn of(error: impl Into<String>, detail: impl Into<String>) -> Self {
+        Rejection {
+            error: error.into(),
+            detail: detail.into(),
+            queue_depth: 0,
+            capacity: 0,
+        }
+    }
+
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("error", self.error.as_str().into()),
+            ("detail", self.detail.as_str().into()),
+            ("queue_depth", u(self.queue_depth)),
+            ("capacity", u(self.capacity)),
+        ])
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field or schema mismatch.
+    pub fn from_json(doc: &JsonValue) -> Result<Rejection, String> {
+        check_schema(doc)?;
+        Ok(Rejection {
+            error: get_str(doc, "error")?.to_string(),
+            detail: get_str(doc, "detail")?.to_string(),
+            queue_depth: opt_u64(doc, "queue_depth").unwrap_or(0),
+            capacity: opt_u64(doc, "capacity").unwrap_or(0),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job status and progress
+// ---------------------------------------------------------------------
+
+/// Where a job is in its service lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted; no task has finished yet.
+    Queued,
+    /// At least one task finished, some remain.
+    Running,
+    /// Every task resolved (completed or failed).
+    Done,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A job status snapshot (`GET /v1/jobs/<id>`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatusView {
+    /// Job id.
+    pub id: String,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Display name.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Total tasks in the job.
+    pub total: u64,
+    /// Tasks resolved so far (hits + executed + failed).
+    pub done: u64,
+    /// Tasks resolved from the result cache.
+    pub hits: u64,
+    /// Tasks freshly simulated.
+    pub executed: u64,
+    /// Tasks that failed (wedged/cap-hit after retries).
+    pub failed: u64,
+    /// Remaining-time estimate, milliseconds (absent before the first
+    /// completion and after the last).
+    pub eta_ms: Option<u64>,
+    /// Wall-clock since admission, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl JobStatusView {
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("id", self.id.as_str().into()),
+            ("tenant", self.tenant.as_str().into()),
+            ("name", self.name.as_str().into()),
+            ("state", self.state.as_str().into()),
+            ("total", u(self.total)),
+            ("done", u(self.done)),
+            ("hits", u(self.hits)),
+            ("executed", u(self.executed)),
+            ("failed", u(self.failed)),
+            ("wall_ms", u(self.wall_ms)),
+        ];
+        if let Some(eta) = self.eta_ms {
+            pairs.push(("eta_ms", u(eta)));
+        }
+        JsonValue::obj(pairs)
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field, bad state, or schema mismatch.
+    pub fn from_json(doc: &JsonValue) -> Result<JobStatusView, String> {
+        check_schema(doc)?;
+        let state = get_str(doc, "state")?;
+        Ok(JobStatusView {
+            id: get_str(doc, "id")?.to_string(),
+            tenant: get_str(doc, "tenant")?.to_string(),
+            name: get_str(doc, "name")?.to_string(),
+            state: JobState::parse(state).ok_or_else(|| format!("bad state {state:?}"))?,
+            total: get_u64(doc, "total")?,
+            done: get_u64(doc, "done")?,
+            hits: get_u64(doc, "hits")?,
+            executed: get_u64(doc, "executed")?,
+            failed: get_u64(doc, "failed")?,
+            eta_ms: opt_u64(doc, "eta_ms"),
+            wall_ms: get_u64(doc, "wall_ms")?,
+        })
+    }
+}
+
+/// One per-task progress event within a job's ordered event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Monotonic sequence number within the job (starts at 1).
+    pub seq: u64,
+    /// Label of the task that resolved.
+    pub label: String,
+    /// How it resolved ("cache-hit", "completed", "wedged ...").
+    pub outcome: String,
+    /// Job-level progress after this event: tasks done.
+    pub done: u64,
+    /// Tasks total.
+    pub total: u64,
+    /// Cache hits so far.
+    pub hits: u64,
+    /// Failures so far.
+    pub failed: u64,
+    /// Remaining-time estimate after this event, milliseconds.
+    pub eta_ms: Option<u64>,
+}
+
+impl ProgressEvent {
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("seq", u(self.seq)),
+            ("label", self.label.as_str().into()),
+            ("outcome", self.outcome.as_str().into()),
+            ("done", u(self.done)),
+            ("total", u(self.total)),
+            ("hits", u(self.hits)),
+            ("failed", u(self.failed)),
+        ];
+        if let Some(eta) = self.eta_ms {
+            pairs.push(("eta_ms", u(eta)));
+        }
+        JsonValue::obj(pairs)
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field.
+    pub fn from_json(doc: &JsonValue) -> Result<ProgressEvent, String> {
+        Ok(ProgressEvent {
+            seq: get_u64(doc, "seq")?,
+            label: get_str(doc, "label")?.to_string(),
+            outcome: get_str(doc, "outcome")?.to_string(),
+            done: get_u64(doc, "done")?,
+            total: get_u64(doc, "total")?,
+            hits: get_u64(doc, "hits")?,
+            failed: get_u64(doc, "failed")?,
+            eta_ms: opt_u64(doc, "eta_ms"),
+        })
+    }
+}
+
+/// A long-poll batch of progress events
+/// (`GET /v1/jobs/<id>/events?since=N`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventBatch {
+    /// Job id.
+    pub id: String,
+    /// Pass as `since` on the next poll.
+    pub next: u64,
+    /// True once the job has fully resolved (stop polling).
+    pub complete: bool,
+    /// Events with `seq > since`, in sequence order.
+    pub events: Vec<ProgressEvent>,
+}
+
+impl EventBatch {
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("id", self.id.as_str().into()),
+            ("next", u(self.next)),
+            ("complete", JsonValue::Bool(self.complete)),
+            (
+                "events",
+                JsonValue::Arr(self.events.iter().map(ProgressEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field or schema mismatch.
+    pub fn from_json(doc: &JsonValue) -> Result<EventBatch, String> {
+        check_schema(doc)?;
+        let events = doc
+            .get("events")
+            .and_then(|v| v.as_arr())
+            .ok_or("missing events")?
+            .iter()
+            .map(ProgressEvent::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EventBatch {
+            id: get_str(doc, "id")?.to_string(),
+            next: get_u64(doc, "next")?,
+            complete: get_bool(doc, "complete")?,
+            events,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service statistics
+// ---------------------------------------------------------------------
+
+/// Five-number summary of a [`Histogram`] for stats documents (the
+/// full bucket vector stays off the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Samples.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Summarize a histogram.
+    pub fn of(h: &Histogram) -> HistSummary {
+        HistSummary {
+            count: h.count,
+            mean: h.mean(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            max: h.max,
+        }
+    }
+
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("count", u(self.count)),
+            ("mean", self.mean.into()),
+            ("p50", u(self.p50)),
+            ("p95", u(self.p95)),
+            ("p99", u(self.p99)),
+            ("max", u(self.max)),
+        ])
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field.
+    pub fn from_json(doc: &JsonValue) -> Result<HistSummary, String> {
+        Ok(HistSummary {
+            count: get_u64(doc, "count")?,
+            mean: get_f64(doc, "mean")?,
+            p50: get_u64(doc, "p50")?,
+            p95: get_u64(doc, "p95")?,
+            p99: get_u64(doc, "p99")?,
+            max: get_u64(doc, "max")?,
+        })
+    }
+}
+
+/// Per-tenant fairness statistics within [`ServiceStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Tasks waiting in the fair queue.
+    pub queued: u64,
+    /// Tasks currently on a worker.
+    pub running: u64,
+    /// Tasks resolved.
+    pub done: u64,
+    /// Tasks failed.
+    pub failed: u64,
+    /// Queue-wait distribution, milliseconds (admission → dispatch).
+    pub wait_ms: HistSummary,
+    /// Largest observed queue wait, milliseconds.
+    pub max_wait_ms: u64,
+    /// Tasks dispatched via aging escalation (starvation rescue).
+    pub escalated: u64,
+}
+
+impl TenantStats {
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("tenant", self.tenant.as_str().into()),
+            ("queued", u(self.queued)),
+            ("running", u(self.running)),
+            ("done", u(self.done)),
+            ("failed", u(self.failed)),
+            ("wait_ms", self.wait_ms.to_json()),
+            ("max_wait_ms", u(self.max_wait_ms)),
+            ("escalated", u(self.escalated)),
+        ])
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field.
+    pub fn from_json(doc: &JsonValue) -> Result<TenantStats, String> {
+        Ok(TenantStats {
+            tenant: get_str(doc, "tenant")?.to_string(),
+            queued: get_u64(doc, "queued")?,
+            running: get_u64(doc, "running")?,
+            done: get_u64(doc, "done")?,
+            failed: get_u64(doc, "failed")?,
+            wait_ms: HistSummary::from_json(doc.get("wait_ms").ok_or("missing wait_ms")?)?,
+            max_wait_ms: get_u64(doc, "max_wait_ms")?,
+            escalated: get_u64(doc, "escalated")?,
+        })
+    }
+}
+
+/// Service-level statistics (`GET /v1/stats`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Resident worker threads.
+    pub workers: u64,
+    /// Tasks waiting in the fair queue right now.
+    pub queue_depth: u64,
+    /// Admission-control capacity (queued tasks).
+    pub queue_cap: u64,
+    /// True once `/v1/drain` was accepted.
+    pub draining: bool,
+    /// Jobs ever admitted (including resumed ones).
+    pub jobs: u64,
+    /// Jobs fully resolved.
+    pub jobs_done: u64,
+    /// Tasks resolved.
+    pub tasks_done: u64,
+    /// Tasks resolved from the result cache.
+    pub hits: u64,
+    /// Tasks freshly simulated.
+    pub executed: u64,
+    /// Tasks failed.
+    pub failed: u64,
+    /// `hits / tasks_done` (0 when nothing resolved yet).
+    pub hit_rate: f64,
+    /// Queue-wait distribution across all tenants, milliseconds.
+    pub wait_ms: HistSummary,
+    /// Per-task resolve-latency distribution, milliseconds.
+    pub task_wall_ms: HistSummary,
+    /// Per-job latency distribution (admission → completion), ms.
+    pub job_wall_ms: HistSummary,
+    /// Host throughput over executed tasks: simulated megacycles per
+    /// second (PR-8 host-perf, aggregated).
+    pub mcycles_per_sec: f64,
+    /// Per-tenant fairness breakdown, sorted by tenant name.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ServiceStats {
+    /// Encode as a protocol document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("uptime_ms", u(self.uptime_ms)),
+            ("workers", u(self.workers)),
+            ("queue_depth", u(self.queue_depth)),
+            ("queue_cap", u(self.queue_cap)),
+            ("draining", JsonValue::Bool(self.draining)),
+            ("jobs", u(self.jobs)),
+            ("jobs_done", u(self.jobs_done)),
+            ("tasks_done", u(self.tasks_done)),
+            ("hits", u(self.hits)),
+            ("executed", u(self.executed)),
+            ("failed", u(self.failed)),
+            ("hit_rate", self.hit_rate.into()),
+            ("wait_ms", self.wait_ms.to_json()),
+            ("task_wall_ms", self.task_wall_ms.to_json()),
+            ("job_wall_ms", self.job_wall_ms.to_json()),
+            ("mcycles_per_sec", self.mcycles_per_sec.into()),
+            (
+                "tenants",
+                JsonValue::Arr(self.tenants.iter().map(TenantStats::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decode a protocol document.
+    ///
+    /// # Errors
+    ///
+    /// Names the missing field or schema mismatch.
+    pub fn from_json(doc: &JsonValue) -> Result<ServiceStats, String> {
+        check_schema(doc)?;
+        let hist = |key: &str| -> Result<HistSummary, String> {
+            HistSummary::from_json(doc.get(key).ok_or_else(|| format!("missing {key}"))?)
+        };
+        let tenants = doc
+            .get("tenants")
+            .and_then(|v| v.as_arr())
+            .ok_or("missing tenants")?
+            .iter()
+            .map(TenantStats::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServiceStats {
+            uptime_ms: get_u64(doc, "uptime_ms")?,
+            workers: get_u64(doc, "workers")?,
+            queue_depth: get_u64(doc, "queue_depth")?,
+            queue_cap: get_u64(doc, "queue_cap")?,
+            draining: get_bool(doc, "draining")?,
+            jobs: get_u64(doc, "jobs")?,
+            jobs_done: get_u64(doc, "jobs_done")?,
+            tasks_done: get_u64(doc, "tasks_done")?,
+            hits: get_u64(doc, "hits")?,
+            executed: get_u64(doc, "executed")?,
+            failed: get_u64(doc, "failed")?,
+            hit_rate: get_f64(doc, "hit_rate")?,
+            wait_ms: hist("wait_ms")?,
+            task_wall_ms: hist("task_wall_ms")?,
+            job_wall_ms: hist("job_wall_ms")?,
+            mcycles_per_sec: get_f64(doc, "mcycles_per_sec")?,
+            tenants,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> HistSummary {
+        let mut h = Histogram::new();
+        for v in [10, 20, 40, 80, 160] {
+            h.record(v);
+        }
+        HistSummary::of(&h)
+    }
+
+    fn round_trip(doc: JsonValue) -> JsonValue {
+        JsonValue::parse(&doc.to_json()).expect("emitted JSON re-parses")
+    }
+
+    #[test]
+    fn submit_request_round_trips_with_and_without_options() {
+        let mut req = SubmitRequest::new("alice", "quad");
+        req.budget = 2_000;
+        req.repeat = 5;
+        let back = SubmitRequest::from_json(&round_trip(req.to_json())).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.repeat, 5);
+
+        let mut narrowed = SubmitRequest::new("bob", "homog");
+        narrowed.prefetcher = Some("GHB".into());
+        narrowed.emc = Some(true);
+        narrowed.seed_bump = 7;
+        let back = SubmitRequest::from_json(&round_trip(narrowed.to_json())).unwrap();
+        assert_eq!(back, narrowed);
+    }
+
+    #[test]
+    fn submit_request_rejects_bad_documents() {
+        let wrong_schema = JsonValue::obj(vec![
+            ("schema", "emc-campaignd-v0".into()),
+            ("tenant", "a".into()),
+            ("suite", "quad".into()),
+        ]);
+        assert!(SubmitRequest::from_json(&wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+
+        let empty_tenant = JsonValue::obj(vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("tenant", "".into()),
+            ("suite", "quad".into()),
+        ]);
+        assert!(SubmitRequest::from_json(&empty_tenant)
+            .unwrap_err()
+            .contains("tenant"));
+
+        // repeat defaults to 1 and can never decode to 0.
+        let zero_repeat = JsonValue::obj(vec![
+            ("schema", SVC_SCHEMA.into()),
+            ("tenant", "a".into()),
+            ("suite", "quad".into()),
+            ("repeat", JsonValue::Num(0.0)),
+        ]);
+        assert_eq!(SubmitRequest::from_json(&zero_repeat).unwrap().repeat, 1);
+    }
+
+    #[test]
+    fn ack_rejection_and_state_round_trip() {
+        let ack = SubmitAck {
+            id: "j42".into(),
+            total: 80,
+            queue_depth: 160,
+        };
+        assert_eq!(
+            SubmitAck::from_json(&round_trip(ack.to_json())).unwrap(),
+            ack
+        );
+
+        let rej = Rejection {
+            error: "queue-full".into(),
+            detail: "queue at capacity (4096)".into(),
+            queue_depth: 4096,
+            capacity: 4096,
+        };
+        assert_eq!(
+            Rejection::from_json(&round_trip(rej.to_json())).unwrap(),
+            rej
+        );
+
+        for state in [JobState::Queued, JobState::Running, JobState::Done] {
+            assert_eq!(JobState::parse(state.as_str()), Some(state));
+        }
+        assert_eq!(JobState::parse("exploded"), None);
+    }
+
+    #[test]
+    fn job_status_round_trips_with_optional_eta() {
+        let mut status = JobStatusView {
+            id: "j1".into(),
+            tenant: "alice".into(),
+            name: "quad".into(),
+            state: JobState::Running,
+            total: 80,
+            done: 20,
+            hits: 12,
+            executed: 8,
+            failed: 0,
+            eta_ms: Some(4_500),
+            wall_ms: 1_500,
+        };
+        let back = JobStatusView::from_json(&round_trip(status.to_json())).unwrap();
+        assert_eq!(back, status);
+
+        status.eta_ms = None;
+        status.state = JobState::Done;
+        let back = JobStatusView::from_json(&round_trip(status.to_json())).unwrap();
+        assert_eq!(back.eta_ms, None);
+        assert_eq!(back.state, JobState::Done);
+    }
+
+    #[test]
+    fn event_batch_round_trips_in_sequence_order() {
+        let events: Vec<ProgressEvent> = (1..=3)
+            .map(|seq| ProgressEvent {
+                seq,
+                label: format!("H{seq}"),
+                outcome: "completed".into(),
+                done: seq,
+                total: 3,
+                hits: 0,
+                failed: 0,
+                eta_ms: (seq < 3).then_some(1_000 * (3 - seq)),
+            })
+            .collect();
+        let batch = EventBatch {
+            id: "j7".into(),
+            next: 3,
+            complete: true,
+            events,
+        };
+        let back = EventBatch::from_json(&round_trip(batch.to_json())).unwrap();
+        assert_eq!(back, batch);
+        assert!(back.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn service_stats_round_trip_preserves_tenant_breakdown() {
+        let tenant = |name: &str, escalated: u64| TenantStats {
+            tenant: name.into(),
+            queued: 10,
+            running: 2,
+            done: 100,
+            failed: 1,
+            wait_ms: summary(),
+            max_wait_ms: 160,
+            escalated,
+        };
+        let stats = ServiceStats {
+            uptime_ms: 60_000,
+            workers: 4,
+            queue_depth: 30,
+            queue_cap: 4096,
+            draining: false,
+            jobs: 12,
+            jobs_done: 9,
+            tasks_done: 300,
+            hits: 270,
+            executed: 29,
+            failed: 1,
+            hit_rate: 0.9,
+            wait_ms: summary(),
+            task_wall_ms: summary(),
+            job_wall_ms: summary(),
+            mcycles_per_sec: 1.25,
+            tenants: vec![tenant("alice", 0), tenant("bob", 3)],
+        };
+        let back = ServiceStats::from_json(&round_trip(stats.to_json())).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.tenants[1].escalated, 3);
+    }
+
+    #[test]
+    fn hist_summary_matches_histogram_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = HistSummary::of(&h);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, h.p50());
+        assert_eq!(s.p95, h.p95());
+        assert_eq!(s.max, 1000);
+    }
+}
